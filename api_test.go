@@ -1,0 +1,82 @@
+package hamband_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hamband"
+)
+
+// TestPublicFacade runs a small end-to-end deployment entirely through the
+// public API, the way a downstream module would.
+func TestPublicFacade(t *testing.T) {
+	eng := hamband.NewEngine(1)
+	fab := hamband.NewFabric(eng, 3, hamband.DefaultLatency())
+	an := hamband.MustAnalyze(hamband.NewAccount())
+	cluster := hamband.NewCluster(fab, an, hamband.DefaultOptions())
+
+	committed, rejected := 0, 0
+	done := func(_ any, err error) {
+		switch err {
+		case nil:
+			committed++
+		case hamband.ErrImpermissible:
+			rejected++
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	eng.At(0, func() {
+		cluster.Replica(1).Invoke(hamband.AccountDeposit, hamband.ArgsI(100), nil)
+	})
+	eng.At(hamband.Time(2*hamband.Millisecond), func() {
+		cluster.Replica(2).Invoke(hamband.AccountWithdraw, hamband.ArgsI(60), done)
+		cluster.Replica(0).Invoke(hamband.AccountWithdraw, hamband.ArgsI(60), done)
+	})
+	eng.RunUntil(hamband.Time(50 * hamband.Millisecond))
+	if committed != 1 || rejected != 1 {
+		t.Fatalf("committed=%d rejected=%d; the leader must serialize the race", committed, rejected)
+	}
+	var balance any
+	cluster.Replica(1).Invoke(hamband.AccountBalance, hamband.Args{}, func(v any, _ error) { balance = v })
+	eng.RunUntil(eng.Now() + hamband.Time(hamband.Millisecond))
+	if balance != any(int64(40)) {
+		t.Fatalf("balance = %v, want 40", balance)
+	}
+}
+
+func TestPublicFacadeTracer(t *testing.T) {
+	eng := hamband.NewEngine(2)
+	fab := hamband.NewFabric(eng, 2, hamband.DefaultLatency())
+	opts := hamband.DefaultOptions()
+	tr := hamband.NewTracer(eng, 1024)
+	opts.Tracer = tr
+	cluster := hamband.NewCluster(fab, hamband.MustAnalyze(hamband.NewCounter()), opts)
+	eng.At(0, func() { cluster.Replica(0).Invoke(hamband.CounterAdd, hamband.ArgsI(1), nil) })
+	eng.RunUntil(hamband.Time(hamband.Millisecond))
+	if len(tr.Events()) == 0 {
+		t.Fatal("tracer recorded nothing through the facade")
+	}
+}
+
+func TestPublicFacadeRelationsChecker(t *testing.T) {
+	if err := hamband.CheckRelations(hamband.NewGSet(), rand.New(rand.NewSource(1)), 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFacadeConstructorsAnalyzable(t *testing.T) {
+	classes := []*hamband.Class{
+		hamband.NewCounter(), hamband.NewPNCounter(), hamband.NewLWW(),
+		hamband.NewGSet(), hamband.NewGSetBuffered(), hamband.NewTwoPSet(),
+		hamband.NewORSet(), hamband.NewCart(), hamband.NewRGA(), hamband.NewMVRegister(3),
+		hamband.NewAccount(), hamband.NewBankMap(),
+		hamband.NewProjectManagement(), hamband.NewCourseware(),
+		hamband.NewMovie(), hamband.NewAuction(),
+	}
+	for _, cls := range classes {
+		if _, err := hamband.Analyze(cls); err != nil {
+			t.Errorf("%s: %v", cls.Name, err)
+		}
+	}
+}

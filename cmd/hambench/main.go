@@ -1,0 +1,88 @@
+// Command hambench regenerates the paper's evaluation (Figures 8–13) on
+// the simulated RDMA fabric, plus the ablation studies from DESIGN.md.
+//
+// Usage:
+//
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis]
+//	         [-ops N] [-seed N]
+//
+// The -ops flag plays the role of the paper's 4 M operations per
+// experiment point; the default (20000) keeps a full-suite run to roughly a
+// minute of wall-clock while preserving the figures' shapes. Results are
+// measured in deterministic virtual time, so a given (-ops, -seed) pair
+// always reproduces the same numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hamband/internal/bench"
+	"hamband/internal/crdt"
+	"hamband/internal/schema"
+	"hamband/internal/spec"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, costs, trace, overview, analysis")
+	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
+	seed := flag.Int64("seed", 42, "deterministic random seed")
+	flag.Parse()
+
+	cfg := bench.Config{Ops: *ops, Seed: *seed, Out: os.Stdout}
+	switch *exp {
+	case "all":
+		cfg.All()
+		cfg.Costs()
+	case "fig8":
+		cfg.Fig8()
+	case "fig9":
+		cfg.Fig9()
+	case "fig10":
+		cfg.Fig10()
+	case "fig11":
+		cfg.Fig11()
+	case "fig12":
+		cfg.Fig12()
+	case "fig13":
+		cfg.Fig13()
+	case "ablations":
+		cfg.Ablations()
+	case "costs":
+		cfg.Costs()
+	case "trace":
+		cfg.Trace()
+	case "overview":
+		cfg.Overview()
+	case "analysis":
+		printAnalyses()
+	default:
+		fmt.Fprintf(os.Stderr, "hambench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// printAnalyses prints the coordination analysis of every use-case: the
+// method categories, synchronization groups and dependency sets the runtime
+// consumes.
+func printAnalyses() {
+	classes := []*spec.Class{
+		crdt.NewCounter(), crdt.NewPNCounter(), crdt.NewLWW(), crdt.NewLWWMap(),
+		crdt.NewGSet(), crdt.NewGSetBuffered(), crdt.NewTwoPSet(),
+		crdt.NewORSet(), crdt.NewCart(), crdt.NewRGA(), crdt.NewMVRegister(4),
+		crdt.NewAccount(), crdt.NewBankMap(),
+		schema.NewProjectManagement(), schema.NewCourseware(), schema.NewMovie(),
+		schema.NewAuction(), schema.NewTournament(),
+	}
+	for _, cls := range classes {
+		an, err := spec.Analyze(cls)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(an.Summary())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,99 @@
+// Editor: collaborative text editing over RDMA with the RGA sequence CRDT
+// (Roh et al., cited by the paper for collaborative applications).
+//
+// Three replicas edit one document concurrently. Every insert is an
+// irreducible conflict-free call that travels through the reliable
+// broadcast with a dependency record — insert depends on insert, so an
+// anchored character can never arrive before the character it attaches to
+// (causal delivery from the paper's dependency-preservation condition).
+// Concurrent inserts at the same position order deterministically, and all
+// replicas converge without any synchronization.
+//
+// Run with: go run ./examples/editor
+package main
+
+import (
+	"fmt"
+
+	"hamband/internal/core"
+	"hamband/internal/crdt"
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+)
+
+// typist simulates one author typing a word character by character, each
+// character anchored on the previous one.
+type typist struct {
+	cluster *core.Cluster
+	p       spec.ProcID
+	seq     uint64
+	last    int64 // anchor for the next character
+}
+
+func (ty *typist) typeWord(eng *sim.Engine, start sim.Duration, word string, gap sim.Duration) {
+	for i := 0; i < len(word); i++ {
+		ch := word[i]
+		at := start + sim.Duration(i)*gap
+		eng.At(sim.Time(at), func() {
+			ty.seq++
+			id := crdt.Tag(ty.p, ty.seq)
+			ty.cluster.Replica(ty.p).Invoke(crdt.RGAInsert,
+				spec.ArgsI(ty.last, id, int64(ch)), nil)
+			ty.last = id
+		})
+	}
+}
+
+func main() {
+	eng := sim.NewEngine(9)
+	fab := rdma.NewFabric(eng, 3, rdma.DefaultLatency())
+	cls := crdt.NewRGA()
+	an := spec.MustAnalyze(cls)
+	fmt.Print(an.Summary())
+
+	cluster := core.NewCluster(fab, an, core.DefaultOptions())
+
+	// Three authors type concurrently at the document head.
+	authors := []struct {
+		p    spec.ProcID
+		word string
+	}{
+		{0, "hello "},
+		{1, "brave "},
+		{2, "world "},
+	}
+	for _, a := range authors {
+		ty := &typist{cluster: cluster, p: a.p}
+		ty.typeWord(eng, 0, a.word, 30*sim.Microsecond)
+	}
+
+	// Watch one replica's view converge over time.
+	for _, at := range []sim.Duration{50 * sim.Microsecond, 200 * sim.Microsecond, 2 * sim.Millisecond} {
+		at := at
+		eng.At(sim.Time(at), func() {
+			cluster.Replica(1).Invoke(crdt.RGARead, spec.Args{}, func(v any, _ error) {
+				fmt.Printf("t=%-10v p1 sees %q\n", sim.Duration(eng.Now()), v)
+			})
+		})
+	}
+
+	eng.RunUntil(sim.Time(10 * sim.Millisecond))
+
+	// All replicas converge on the same document.
+	docs := make([]string, 3)
+	for p := spec.ProcID(0); p < 3; p++ {
+		p := p
+		cluster.Replica(p).Invoke(crdt.RGARead, spec.Args{}, func(v any, _ error) {
+			docs[p] = v.(string)
+		})
+	}
+	eng.RunUntil(eng.Now() + sim.Time(sim.Millisecond))
+	if docs[0] != docs[1] || docs[1] != docs[2] {
+		fmt.Printf("ERROR: diverged: %q %q %q\n", docs[0], docs[1], docs[2])
+		return
+	}
+	fmt.Printf("\nconverged document: %q\n", docs[0])
+	fmt.Println("each word stayed contiguous (per-author inserts anchor on each other);")
+	fmt.Println("word interleaving is the deterministic concurrent-insert order")
+}

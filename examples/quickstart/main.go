@@ -1,0 +1,56 @@
+// Quickstart: replicate a counter over a three-node simulated RDMA cluster.
+//
+// The counter's add method is *reducible* — conflict-free, dependence-free
+// and summarizable — so every update is carried to the other replicas by a
+// single one-sided RDMA write of the issuer's summary slot; no messages, no
+// consensus, no remote CPU.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hamband/internal/core"
+	"hamband/internal/crdt"
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+)
+
+func main() {
+	// A deterministic discrete-event engine drives the whole cluster.
+	eng := sim.NewEngine(1)
+	fab := rdma.NewFabric(eng, 3, rdma.DefaultLatency())
+
+	// Analyze the data type: the analysis derives the method categories
+	// the runtime dispatches on.
+	cls := crdt.NewCounter()
+	an := spec.MustAnalyze(cls)
+	fmt.Print(an.Summary())
+
+	cluster := core.NewCluster(fab, an, core.DefaultOptions())
+
+	// Issue updates at different replicas.
+	eng.At(0, func() {
+		cluster.Replica(0).Invoke(crdt.CounterAdd, spec.ArgsI(5), nil)
+		cluster.Replica(1).Invoke(crdt.CounterAdd, spec.ArgsI(7), nil)
+		cluster.Replica(2).Invoke(crdt.CounterAdd, spec.ArgsI(-2), nil)
+	})
+
+	// A moment later, query each replica: summaries have landed.
+	eng.At(sim.Time(100*sim.Microsecond), func() {
+		for p := spec.ProcID(0); p < 3; p++ {
+			p := p
+			cluster.Replica(p).Invoke(crdt.CounterValue, spec.Args{}, func(v any, err error) {
+				fmt.Printf("t=%v  replica p%d reads %v (err=%v)\n",
+					sim.Duration(eng.Now()), p, v, err)
+			})
+		}
+	})
+
+	eng.RunUntil(sim.Time(sim.Millisecond))
+
+	w := fab.Stats().Writes
+	fmt.Printf("\n3 updates replicated with %d one-sided RDMA writes and zero messages\n", w)
+}

@@ -1,0 +1,3 @@
+module hamband
+
+go 1.22

@@ -1,0 +1,142 @@
+package smr
+
+import (
+	"errors"
+	"testing"
+
+	"hamband/internal/crdt"
+	"hamband/internal/rdma"
+	"hamband/internal/schema"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+)
+
+func setup(t *testing.T, cls *spec.Class, n int) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(61)
+	fab := rdma.NewFabric(eng, n, rdma.DefaultLatency())
+	return eng, NewCluster(fab, spec.MustAnalyze(cls), DefaultOptions())
+}
+
+func TestUpdatesTotallyOrderedEverywhere(t *testing.T) {
+	eng, c := setup(t, crdt.NewCounter(), 3)
+	done := 0
+	eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			p := spec.ProcID(i % 3)
+			c.Replica(p).Invoke(crdt.CounterAdd, spec.ArgsI(1), func(_ any, err error) {
+				if err != nil {
+					t.Errorf("invoke: %v", err)
+				}
+				done++
+			})
+		}
+	})
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	if done != 10 {
+		t.Fatalf("completed %d/10 updates", done)
+	}
+	for p := 0; p < 3; p++ {
+		st := c.Replica(spec.ProcID(p)).CurrentState().(*crdt.CounterState)
+		if st.V != 10 {
+			t.Fatalf("replica %d = %d, want 10", p, st.V)
+		}
+	}
+}
+
+func TestStrongConsistencyForConflicting(t *testing.T) {
+	// The SMR baseline handles conflicting methods out of the box: two
+	// racing withdraws serialize at the leader; one is rejected.
+	eng, c := setup(t, crdt.NewAccount(), 3)
+	ok, rej := 0, 0
+	eng.At(0, func() {
+		c.Replica(0).Invoke(crdt.AccountDeposit, spec.ArgsI(10), nil)
+	})
+	eng.At(sim.Time(2*sim.Millisecond), func() {
+		done := func(_ any, err error) {
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrImpermissible):
+				rej++
+			default:
+				t.Errorf("unexpected: %v", err)
+			}
+		}
+		c.Replica(1).Invoke(crdt.AccountWithdraw, spec.ArgsI(10), done)
+		c.Replica(2).Invoke(crdt.AccountWithdraw, spec.ArgsI(10), done)
+	})
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	if ok != 1 || rej != 1 {
+		t.Fatalf("ok=%d rejected=%d, want 1/1", ok, rej)
+	}
+	for p := 0; p < 3; p++ {
+		st := c.Replica(spec.ProcID(p)).CurrentState().(*crdt.AccountState)
+		if st.Balance != 0 {
+			t.Fatalf("replica %d balance = %d, want 0", p, st.Balance)
+		}
+	}
+}
+
+func TestSchemaThroughSMR(t *testing.T) {
+	eng, c := setup(t, schema.NewCourseware(), 3)
+	eng.At(0, func() {
+		c.Replica(0).Invoke(schema.RefAddLeft, spec.ArgsI(1), nil)
+		c.Replica(1).Invoke(schema.RefAddRight, spec.ArgsI(2), nil)
+	})
+	eng.At(sim.Time(3*sim.Millisecond), func() {
+		c.Replica(2).Invoke(schema.RefLink, spec.ArgsI(1, 2), nil)
+	})
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	for p := 0; p < 3; p++ {
+		st := c.Replica(spec.ProcID(p)).CurrentState().(*schema.RefState)
+		if len(st.Links) != 1 {
+			t.Fatalf("replica %d links = %d, want 1", p, len(st.Links))
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	eng, c := setup(t, crdt.NewCounter(), 3)
+	eng.At(0, func() {
+		c.Replica(1).Invoke(crdt.CounterAdd, spec.ArgsI(5), nil)
+	})
+	eng.At(sim.Time(3*sim.Millisecond), func() {
+		c.Replica(0).Beater().Suspend()
+		c.Fab.Node(0).Suspend()
+	})
+	completed := false
+	eng.At(sim.Time(6*sim.Millisecond), func() {
+		c.Replica(2).Invoke(crdt.CounterAdd, spec.ArgsI(7), func(_ any, err error) {
+			if err != nil {
+				t.Errorf("post-failover update: %v", err)
+			}
+			completed = true
+		})
+	})
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if !completed {
+		t.Fatal("update after leader failure never completed")
+	}
+	if c.Leader(1) == 0 {
+		t.Fatal("leader did not change")
+	}
+	s1 := c.Replica(1).CurrentState().(*crdt.CounterState)
+	s2 := c.Replica(2).CurrentState().(*crdt.CounterState)
+	if s1.V != 12 || s2.V != 12 {
+		t.Fatalf("survivor states = %d, %d; want 12", s1.V, s2.V)
+	}
+}
+
+func TestQueriesLocalAndEventuallyCurrent(t *testing.T) {
+	eng, c := setup(t, crdt.NewCounter(), 3)
+	var v any
+	eng.At(0, func() { c.Replica(0).Invoke(crdt.CounterAdd, spec.ArgsI(5), nil) })
+	eng.At(sim.Time(10*sim.Millisecond), func() {
+		c.Replica(2).Invoke(crdt.CounterValue, spec.Args{}, func(got any, _ error) { v = got })
+	})
+	eng.RunUntil(sim.Time(20 * sim.Millisecond))
+	if v != any(int64(5)) {
+		t.Fatalf("query = %v, want 5", v)
+	}
+}

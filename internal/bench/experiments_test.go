@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every figure driver at a tiny scale: it
+// guards the experiment code itself (table construction, fault plumbing,
+// the rt/throughput split) against regressions. Full-scale numbers come
+// from cmd/hambench.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is not short")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Ops: 400, Seed: 3, Out: &buf}
+	cfg.Fig10()
+	cfg.Fig11()
+	cfg.Fig12()
+	cfg.Fig13()
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 10", "Figure 11(a)", "Figure 11(b)", "Figure 12",
+		"Figure 13(a)", "Figure 13(b)",
+		"worksOn", "registerStudent", "leader fails",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig8And9Smoke runs the larger sweeps on a reduced grid by shrinking
+// the op count; they cover the three-system comparison code paths.
+func TestFig8And9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is not short")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Ops: 150, Seed: 3, Out: &buf}
+	cfg.Fig8()
+	cfg.Fig9()
+	out := buf.String()
+	for _, want := range []string{"Figure 8(a)", "Figure 8(b)", "Figure 9(a)", "Figure 9(b)", "counter", "orset"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is not short")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Ops: 300, Seed: 3, Out: &buf}
+	cfg.Ablations()
+	out := buf.String()
+	for _, want := range []string{"summarization", "two leaders", "dependency gating", "closed-loop depth"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSystemKindString(t *testing.T) {
+	if Hamband.String() != "Hamband" || MSG.String() != "MSG" || MuSMR.String() != "Mu" {
+		t.Fatal("system names wrong")
+	}
+	if SystemKind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{System: "Hamband", Class: "counter", Nodes: 4, Completed: 100, Makespan: 100_000}
+	if !strings.Contains(r.String(), "Hamband/counter") {
+		t.Fatalf("Result.String() = %q", r.String())
+	}
+	if r.Throughput() != 1.0 {
+		t.Fatalf("throughput = %v, want 1.0", r.Throughput())
+	}
+	var zero Result
+	if zero.Throughput() != 0 {
+		t.Fatal("zero makespan should yield zero throughput")
+	}
+}
+
+func TestMethodStatMean(t *testing.T) {
+	var m MethodStat
+	if m.Mean() != 0 {
+		t.Fatal("empty stat mean should be 0")
+	}
+	m.Count, m.Total = 4, 400
+	if m.Mean() != 100 {
+		t.Fatalf("mean = %v, want 100", m.Mean())
+	}
+}

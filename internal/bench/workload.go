@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"math/rand"
+
+	"hamband/internal/crdt"
+	"hamband/internal/schema"
+	"hamband/internal/spec"
+)
+
+// Workload describes one benchmark configuration, following the paper's
+// setup: randomly generated calls, update calls uniformly distributed over
+// update methods, conflict-free and query calls divided equally between
+// nodes (§5 "Platform and setup").
+type Workload struct {
+	An          *spec.Analysis
+	Nodes       int
+	Ops         int     // total calls (updates + queries)
+	UpdateRatio float64 // fraction of calls that are updates
+	Concurrency int     // outstanding requests per node (closed loop)
+	Seed        int64
+	KeySpace    int // bounded argument space (bounds summary growth)
+}
+
+// DefaultConcurrency is the closed-loop pipeline depth per node.
+const DefaultConcurrency = 8
+
+// DefaultKeySpace bounds element/entity arguments.
+const DefaultKeySpace = 512
+
+// NewWorkload returns a workload with defaults filled in.
+func NewWorkload(an *spec.Analysis, nodes, ops int, updateRatio float64, seed int64) Workload {
+	return Workload{
+		An:          an,
+		Nodes:       nodes,
+		Ops:         ops,
+		UpdateRatio: updateRatio,
+		Concurrency: DefaultConcurrency,
+		Seed:        seed,
+		KeySpace:    DefaultKeySpace,
+	}
+}
+
+// generator produces the call stream for one workload. It keeps per-class
+// bookkeeping: unique OR-set/cart tags, pools of live tags for removes, and
+// entity pools for the relational schemas so that guarded calls are mostly
+// permissible.
+type generator struct {
+	wl      Workload
+	rng     *rand.Rand
+	updates []spec.MethodID
+	queries []spec.MethodID
+	tagSeq  uint64
+	tags    []int64 // recently added OR-set/cart tags
+}
+
+func newGenerator(wl Workload) *generator {
+	return &generator{
+		wl:      wl,
+		rng:     rand.New(rand.NewSource(wl.Seed)),
+		updates: wl.An.Class.UpdateMethods(),
+		queries: wl.An.Class.QueryMethods(),
+	}
+}
+
+// next returns the next call for origin node p.
+func (g *generator) next(p spec.ProcID) (u spec.MethodID, args spec.Args, isUpdate bool) {
+	if len(g.queries) == 0 || g.rng.Float64() < g.wl.UpdateRatio {
+		u = g.updates[g.rng.Intn(len(g.updates))]
+		return u, g.argsFor(p, u), true
+	}
+	u = g.queries[g.rng.Intn(len(g.queries))]
+	return u, g.argsFor(p, u), false
+}
+
+func (g *generator) key() int64 { return int64(g.rng.Intn(g.wl.KeySpace)) }
+
+// argsFor builds arguments for a call on u, with class-specific handling
+// for unique tags and observed removes.
+func (g *generator) argsFor(p spec.ProcID, u spec.MethodID) spec.Args {
+	cls := g.wl.An.Class
+	switch cls.Name {
+	case "counter":
+		if u == crdt.CounterAdd {
+			return spec.ArgsI(int64(g.rng.Intn(100) - 50))
+		}
+		return spec.Args{}
+	case "lww":
+		if u == crdt.LWWWrite {
+			return spec.ArgsI(int64(g.rng.Intn(1000)), int64(1+g.rng.Intn(1<<20)))
+		}
+		return spec.Args{}
+	case "gset", "gset-buffered":
+		switch u {
+		case crdt.GSetAdd:
+			n := 1 + g.rng.Intn(3)
+			elems := make([]int64, n)
+			for i := range elems {
+				elems[i] = g.key()
+			}
+			return spec.Args{I: elems}
+		case crdt.GSetContains:
+			return spec.ArgsI(g.key())
+		default:
+			return spec.Args{}
+		}
+	case "orset":
+		switch u {
+		case crdt.ORSetAdd:
+			tag := g.freshTag(p)
+			return spec.ArgsI(g.key(), tag)
+		case crdt.ORSetRemove:
+			return spec.Args{I: append([]int64{g.key()}, g.observedTags()...)}
+		default:
+			return spec.ArgsI(g.key())
+		}
+	case "cart":
+		switch u {
+		case crdt.CartAdd:
+			tag := g.freshTag(p)
+			return spec.ArgsI(g.key()%64, int64(1+g.rng.Intn(5)), tag)
+		case crdt.CartRemove:
+			return spec.Args{I: append([]int64{g.key() % 64}, g.observedTags()...)}
+		default:
+			return spec.ArgsI(g.key() % 64)
+		}
+	case "account":
+		switch u {
+		case crdt.AccountDeposit:
+			return spec.ArgsI(int64(1 + g.rng.Intn(100)))
+		case crdt.AccountWithdraw:
+			return spec.ArgsI(int64(1 + g.rng.Intn(10)))
+		default:
+			return spec.Args{}
+		}
+	case "projectmgmt", "courseware":
+		switch u {
+		case schema.RefAddLeft, schema.RefDelLeft, schema.RefHasLeft:
+			return spec.ArgsI(g.key() % 256)
+		case schema.RefLink:
+			return spec.ArgsI(g.key()%256, g.key()%256)
+		case schema.RefAddRight:
+			n := 1 + g.rng.Intn(3)
+			es := make([]int64, n)
+			for i := range es {
+				es[i] = g.key() % 256
+			}
+			return spec.Args{I: es}
+		default:
+			return spec.Args{}
+		}
+	case "movie":
+		return spec.ArgsI(g.key() % 256)
+	default:
+		// Fall back to the class's own generator.
+		c := cls.Gen.Call(g.rng, u)
+		return c.Args
+	}
+}
+
+// freshTag mints a globally unique tag and remembers it for removes.
+func (g *generator) freshTag(p spec.ProcID) int64 {
+	g.tagSeq++
+	tag := crdt.Tag(p, g.tagSeq)
+	if len(g.tags) < 4096 {
+		g.tags = append(g.tags, tag)
+	} else {
+		g.tags[g.rng.Intn(len(g.tags))] = tag
+	}
+	return tag
+}
+
+// observedTags picks 1–2 previously minted tags (a remove that observed
+// them); with no adds yet it mints a phantom tag (removing nothing).
+func (g *generator) observedTags() []int64 {
+	if len(g.tags) == 0 {
+		g.tagSeq++
+		return []int64{crdt.Tag(spec.ProcID(0), g.tagSeq)}
+	}
+	n := 1 + g.rng.Intn(2)
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.tags[g.rng.Intn(len(g.tags))])
+	}
+	return out
+}

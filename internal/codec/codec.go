@@ -1,0 +1,235 @@
+// Package codec serializes method calls and their dependency records into
+// the byte format Hamband writes into remote memory (§4): a length-prefixed
+// record carrying the call, its variable-sized dependency arrays, and a
+// trailing non-zero canary byte that lets a reader detect a fully written
+// record.
+//
+// Summary slots use a seqlock-style frame (a version word before and after
+// the payload) so a reader can detect a torn concurrent overwrite and retry
+// — the paper's single-location summaries are overwritten in place rather
+// than appended.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hamband/internal/spec"
+)
+
+// Canary is the non-zero byte terminating every complete record.
+const Canary byte = 0xA5
+
+// Errors returned by decoders.
+var (
+	ErrIncomplete = errors.New("codec: record incomplete or empty")
+	ErrCorrupt    = errors.New("codec: record corrupt")
+	ErrTooLarge   = errors.New("codec: record exceeds limit")
+	ErrTorn       = errors.New("codec: torn slot read")
+)
+
+// MaxRecord bounds a single encoded record. Buffers size their slots and
+// rings against it.
+const MaxRecord = 64 * 1024
+
+// EncodeEntry serializes (call, deps) into a self-delimiting record:
+//
+//	u32 total length | u16 method | u16 proc | u64 seq |
+//	u16 #ints | u16 #strs | ints | (u16 len + bytes)* |
+//	u32 #deps | deps | canary
+func EncodeEntry(c spec.Call, d spec.DepVec) ([]byte, error) {
+	n := entrySize(c, d)
+	if n > MaxRecord {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = binary.LittleEndian.AppendUint16(b, uint16(c.Method))
+	b = binary.LittleEndian.AppendUint16(b, uint16(c.Proc))
+	b = binary.LittleEndian.AppendUint64(b, c.Seq)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Args.I)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Args.S)))
+	for _, v := range c.Args.I {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	for _, s := range c.Args.S {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+		b = append(b, s...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d)))
+	for _, v := range d {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	b = append(b, Canary)
+	if len(b) != n {
+		panic("codec: size accounting mismatch")
+	}
+	return b, nil
+}
+
+func entrySize(c spec.Call, d spec.DepVec) int {
+	n := 4 + 2 + 2 + 8 + 2 + 2 // header
+	n += 8 * len(c.Args.I)
+	for _, s := range c.Args.S {
+		n += 2 + len(s)
+	}
+	n += 4 + 4*len(d)
+	n++ // canary
+	return n
+}
+
+// DecodeEntry parses a record produced by EncodeEntry from the front of b.
+// It returns the call, its dependency record and the total record length
+// consumed. ErrIncomplete is returned when the buffer starts with a zero
+// length (no record) or the record's canary has not landed yet.
+func DecodeEntry(b []byte) (spec.Call, spec.DepVec, int, error) {
+	var zero spec.Call
+	if len(b) < 4 {
+		return zero, nil, 0, ErrIncomplete
+	}
+	total := int(binary.LittleEndian.Uint32(b))
+	if total == 0 {
+		return zero, nil, 0, ErrIncomplete
+	}
+	if total < 21 || total > MaxRecord {
+		return zero, nil, 0, fmt.Errorf("%w: bad length %d", ErrCorrupt, total)
+	}
+	if len(b) < total {
+		return zero, nil, 0, ErrIncomplete
+	}
+	if b[total-1] != Canary {
+		return zero, nil, 0, ErrIncomplete // write in flight
+	}
+	p := 4
+	c := spec.Call{
+		Method: spec.MethodID(binary.LittleEndian.Uint16(b[p:])),
+		Proc:   spec.ProcID(binary.LittleEndian.Uint16(b[p+2:])),
+		Seq:    binary.LittleEndian.Uint64(b[p+4:]),
+	}
+	p += 12
+	ni := int(binary.LittleEndian.Uint16(b[p:]))
+	ns := int(binary.LittleEndian.Uint16(b[p+2:]))
+	p += 4
+	if p+8*ni > total {
+		return zero, nil, 0, ErrCorrupt
+	}
+	if ni > 0 {
+		c.Args.I = make([]int64, ni)
+		for i := range c.Args.I {
+			c.Args.I[i] = int64(binary.LittleEndian.Uint64(b[p:]))
+			p += 8
+		}
+	}
+	if ns > 0 {
+		c.Args.S = make([]string, ns)
+		for i := range c.Args.S {
+			if p+2 > total {
+				return zero, nil, 0, ErrCorrupt
+			}
+			l := int(binary.LittleEndian.Uint16(b[p:]))
+			p += 2
+			if p+l > total {
+				return zero, nil, 0, ErrCorrupt
+			}
+			c.Args.S[i] = string(b[p : p+l])
+			p += l
+		}
+	}
+	if p+4 > total {
+		return zero, nil, 0, ErrCorrupt
+	}
+	nd := int(binary.LittleEndian.Uint32(b[p:]))
+	p += 4
+	if p+4*nd+1 != total {
+		return zero, nil, 0, ErrCorrupt
+	}
+	var d spec.DepVec
+	if nd > 0 {
+		d = make(spec.DepVec, nd)
+		for i := range d {
+			d[i] = binary.LittleEndian.Uint32(b[p:])
+			p += 4
+		}
+	}
+	return c, d, total, nil
+}
+
+// SlotOverhead is the framing cost of a seqlock slot beyond its payload.
+const SlotOverhead = 12 // u32 version + u32 length + payload + u32 version
+
+// EncodeSlot frames payload for an overwrite-in-place slot of the given
+// size: version, length, payload, version. The version must increase with
+// every overwrite of the same slot.
+func EncodeSlot(payload []byte, version uint32, slotSize int) ([]byte, error) {
+	if len(payload)+SlotOverhead > slotSize {
+		return nil, fmt.Errorf("%w: payload %d for slot %d", ErrTooLarge, len(payload), slotSize)
+	}
+	b := make([]byte, slotSize)
+	binary.LittleEndian.PutUint32(b, version)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(payload)))
+	copy(b[8:], payload)
+	binary.LittleEndian.PutUint32(b[8+len(payload):], version)
+	return b, nil
+}
+
+// DecodeSlot extracts a slot's payload and version. ErrTorn signals a
+// mismatch between the leading and trailing versions (a concurrent
+// overwrite); the reader should retry. A zero version means the slot was
+// never written.
+func DecodeSlot(b []byte) (payload []byte, version uint32, err error) {
+	if len(b) < SlotOverhead {
+		return nil, 0, ErrCorrupt
+	}
+	v1 := binary.LittleEndian.Uint32(b)
+	if v1 == 0 {
+		return nil, 0, ErrIncomplete
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if n < 0 || 8+n+4 > len(b) {
+		return nil, 0, ErrCorrupt
+	}
+	v2 := binary.LittleEndian.Uint32(b[8+n:])
+	if v1 != v2 {
+		return nil, 0, ErrTorn
+	}
+	return b[8 : 8+n], v1, nil
+}
+
+// EncodeRaw frames an opaque payload as a self-delimiting ring record:
+// u32 total length, payload, canary. Protocol layers (reliable broadcast,
+// consensus) use it to carry their own message formats through ring
+// buffers.
+func EncodeRaw(payload []byte) ([]byte, error) {
+	n := 4 + len(payload) + 1
+	if n > MaxRecord {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = append(b, payload...)
+	b = append(b, Canary)
+	return b, nil
+}
+
+// DecodeRaw unwraps a record framed by EncodeRaw, returning the payload and
+// the total record length consumed.
+func DecodeRaw(b []byte) ([]byte, int, error) {
+	if len(b) < 4 {
+		return nil, 0, ErrIncomplete
+	}
+	total := int(binary.LittleEndian.Uint32(b))
+	if total == 0 {
+		return nil, 0, ErrIncomplete
+	}
+	if total < 5 || total > MaxRecord {
+		return nil, 0, fmt.Errorf("%w: bad length %d", ErrCorrupt, total)
+	}
+	if len(b) < total {
+		return nil, 0, ErrIncomplete
+	}
+	if b[total-1] != Canary {
+		return nil, 0, ErrIncomplete
+	}
+	return b[4 : total-1], total, nil
+}

@@ -1,0 +1,212 @@
+package codec
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hamband/internal/spec"
+)
+
+func TestEntryRoundTrip(t *testing.T) {
+	c := spec.Call{
+		Method: 3,
+		Args:   spec.Args{I: []int64{-5, 1 << 40}, S: []string{"hello", ""}},
+		Proc:   2,
+		Seq:    99,
+	}
+	d := spec.DepVec{1, 0, 7}
+	b, err := EncodeEntry(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, d2, n, err := DecodeEntry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d, want %d", n, len(b))
+	}
+	if c2.Method != c.Method || c2.Proc != c.Proc || c2.Seq != c.Seq || !c2.Args.Equal(c.Args) {
+		t.Fatalf("call round-trip mismatch: %+v vs %+v", c2, c)
+	}
+	if len(d2) != 3 || d2[0] != 1 || d2[1] != 0 || d2[2] != 7 {
+		t.Fatalf("deps round-trip mismatch: %v", d2)
+	}
+}
+
+func TestEntryRoundTripEmpty(t *testing.T) {
+	c := spec.Call{Method: 0, Proc: 0, Seq: 0}
+	b, err := EncodeEntry(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, d2, _, err := DecodeEntry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != nil || c2.Seq != 0 {
+		t.Fatalf("empty entry mismatch: %+v, %v", c2, d2)
+	}
+}
+
+func TestEntryRoundTripQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func(method uint8, proc uint8, seq uint64, ints []int64, nd uint8) bool {
+		var strs []string
+		for i := 0; i < int(nd)%3; i++ {
+			strs = append(strs, strings.Repeat("s", r.Intn(20)))
+		}
+		c := spec.Call{
+			Method: spec.MethodID(method), Proc: spec.ProcID(proc), Seq: seq,
+			Args: spec.Args{I: ints, S: strs},
+		}
+		d := make(spec.DepVec, int(nd)%9)
+		for i := range d {
+			d[i] = uint32(r.Intn(1000))
+		}
+		if len(d) == 0 {
+			d = nil
+		}
+		b, err := EncodeEntry(c, d)
+		if err != nil {
+			return false
+		}
+		c2, d2, n, err := DecodeEntry(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		if c2.Method != c.Method || c2.Proc != c.Proc || c2.Seq != c.Seq || !c2.Args.Equal(c.Args) {
+			return false
+		}
+		if len(d2) != len(d) {
+			return false
+		}
+		for i := range d {
+			if d[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEmptyBuffer(t *testing.T) {
+	if _, _, _, err := DecodeEntry(make([]byte, 64)); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete on zeroed buffer", err)
+	}
+	if _, _, _, err := DecodeEntry(nil); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete on nil", err)
+	}
+}
+
+func TestDecodeMissingCanary(t *testing.T) {
+	b, _ := EncodeEntry(spec.Call{Method: 1, Args: spec.ArgsI(5)}, nil)
+	b[len(b)-1] = 0 // canary not yet landed
+	if _, _, _, err := DecodeEntry(b); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete without canary", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	b, _ := EncodeEntry(spec.Call{Method: 1, Args: spec.ArgsI(5, 6, 7)}, spec.DepVec{1})
+	if _, _, _, err := DecodeEntry(b[:len(b)-4]); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete on truncation", err)
+	}
+}
+
+func TestDecodeCorruptLength(t *testing.T) {
+	b, _ := EncodeEntry(spec.Call{Method: 1}, nil)
+	b[0], b[1], b[2], b[3] = 5, 0, 0, 0 // below minimum record size
+	if _, _, _, err := DecodeEntry(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeTooLarge(t *testing.T) {
+	ints := make([]int64, MaxRecord/8)
+	_, err := EncodeEntry(spec.Call{Method: 1, Args: spec.Args{I: ints}}, nil)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	payload := []byte("summary-payload")
+	b, err := EncodeSlot(payload, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 64 {
+		t.Fatalf("slot length = %d, want 64", len(b))
+	}
+	got, v, err := DecodeSlot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 || string(got) != string(payload) {
+		t.Fatalf("slot round-trip = (%q, %d)", got, v)
+	}
+}
+
+func TestSlotNeverWritten(t *testing.T) {
+	if _, _, err := DecodeSlot(make([]byte, 32)); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestSlotTornRead(t *testing.T) {
+	b, _ := EncodeSlot([]byte("x"), 3, 32)
+	b[0] = 4 // leading version advanced, trailing not: torn
+	if _, _, err := DecodeSlot(b); !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn", err)
+	}
+}
+
+func TestSlotTooSmall(t *testing.T) {
+	if _, err := EncodeSlot(make([]byte, 30), 1, 32); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	payload := []byte("raw-message")
+	b, err := EncodeRaw(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeRaw(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode = (%v, %d)", err, n)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestRawEmptyPayload(t *testing.T) {
+	b, err := EncodeRaw(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeRaw(b)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("decode = (%q, %v)", got, err)
+	}
+}
+
+func TestRawIncomplete(t *testing.T) {
+	b, _ := EncodeRaw([]byte("xy"))
+	if _, _, err := DecodeRaw(b[:len(b)-1]); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+	b[len(b)-1] = 0
+	if _, _, err := DecodeRaw(b); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete without canary", err)
+	}
+}

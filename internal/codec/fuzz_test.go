@@ -1,0 +1,67 @@
+package codec
+
+import (
+	"testing"
+
+	"hamband/internal/spec"
+)
+
+// FuzzDecodeEntry asserts the record decoder never panics and never
+// over-reads on arbitrary bytes — these bytes arrive from remote memory
+// that a buggy or malicious writer could have filled with anything.
+func FuzzDecodeEntry(f *testing.F) {
+	good, _ := EncodeEntry(spec.Call{
+		Method: 3, Proc: 1, Seq: 9,
+		Args: spec.Args{I: []int64{1, 2}, S: []string{"x"}},
+	}, spec.DepVec{4, 5})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	trunc := append([]byte(nil), good...)
+	f.Add(trunc[:len(trunc)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, d, n, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A successful decode must re-encode without panicking.
+		if _, eerr := EncodeEntry(c, d); eerr != nil && len(c.Args.I) < 1000 {
+			t.Fatalf("re-encode of decoded entry failed: %v", eerr)
+		}
+	})
+}
+
+// FuzzDecodeSlot asserts the seqlock-slot decoder never panics.
+func FuzzDecodeSlot(f *testing.F) {
+	good, _ := EncodeSlot([]byte("payload"), 3, 64)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, ver, err := DecodeSlot(data)
+		if err == nil && ver == 0 {
+			t.Fatal("version 0 must decode as never-written")
+		}
+		_ = payload
+	})
+}
+
+// FuzzDecodeRaw asserts the raw-record decoder never panics.
+func FuzzDecodeRaw(f *testing.F) {
+	good, _ := EncodeRaw([]byte("msg"))
+	f.Add(good)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := DecodeRaw(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		_ = payload
+	})
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hamband/internal/crdt"
+	"hamband/internal/rdma"
+	"hamband/internal/schema"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+	"hamband/internal/trace"
+)
+
+// chaos drives a cluster under randomized fault injection: nodes suspend
+// and resume at random times while a random workload flows, and at the end
+// every replica that is up must have converged. CheckIntegrity stays on,
+// so any transient invariant violation panics immediately.
+//
+// Constraints respected by the schedule: at most a minority of nodes are
+// down at once (consensus needs a majority), and every node is resumed
+// before the final drain (so the convergence check covers all replicas).
+type chaos struct {
+	h     *harness
+	rng   *rand.Rand
+	down  map[spec.ProcID]bool
+	procs int
+}
+
+func runChaos(t *testing.T, cls *spec.Class, seed int64, ops int) {
+	runChaosTraced(t, cls, seed, ops, nil)
+}
+
+func runChaosTraced(t *testing.T, cls *spec.Class, seed int64, ops int, tr *trace.Tracer) {
+	t.Helper()
+	h := newHarness(t, cls, 4, seed, nil)
+	if tr != nil {
+		*tr = *trace.New(h.eng, 1<<18)
+		for _, r := range h.cluster.Replicas {
+			r.opts.Tracer = tr
+		}
+	}
+	c := &chaos{h: h, rng: rand.New(rand.NewSource(seed)), down: map[spec.ProcID]bool{}, procs: 4}
+	ups := cls.UpdateMethods()
+
+	// Workload: a batch every 50 µs from random live nodes.
+	batch := 0
+	issueTick := h.eng.NewTicker(50*sim.Microsecond, func() {
+		if batch*5 >= ops {
+			return
+		}
+		batch++
+		for i := 0; i < 5; i++ {
+			p := c.pickLive()
+			if p < 0 {
+				continue
+			}
+			u := ups[c.rng.Intn(len(ups))]
+			call := cls.Gen.Call(c.rng, u)
+			// Unique tags where the class needs them.
+			fixTags(&call, p, uint64(batch*100+i))
+			h.invoke(p, u, call.Args)
+		}
+	})
+
+	// Fault schedule: random suspend/resume every 300 µs.
+	faultTick := h.eng.NewTicker(300*sim.Microsecond, func() {
+		p := spec.ProcID(c.rng.Intn(c.procs))
+		if c.down[p] {
+			c.down[p] = false
+			h.cluster.Replica(p).Beater().Resume()
+			h.fab.Node(rdma.NodeID(p)).Resume()
+			return
+		}
+		if len(c.down) >= (c.procs-1)/2 || c.countDown() >= (c.procs-1)/2 {
+			return // keep a majority up
+		}
+		c.down[p] = true
+		h.cluster.Replica(p).Beater().Suspend()
+		h.fab.Node(rdma.NodeID(p)).Suspend()
+	})
+
+	h.eng.RunUntil(sim.Time(sim.Duration(ops/5+2) * 50 * sim.Microsecond))
+	issueTick.Cancel()
+	faultTick.Cancel()
+	// Resurrect everyone and drain.
+	for p := spec.ProcID(0); int(p) < c.procs; p++ {
+		if c.down[p] {
+			h.cluster.Replica(p).Beater().Resume()
+			h.fab.Node(rdma.NodeID(p)).Resume()
+		}
+	}
+	if !h.drain(2 * sim.Second) {
+		free, conf := h.cluster.Replica(0).QueueDepths()
+		for p := spec.ProcID(0); int(p) < c.procs; p++ {
+			r := h.cluster.Replica(p)
+			for g, in := range r.groups {
+				t.Logf("p%d g%d: leader=p%d term=%d isLeader=%v electing=%v recovering=%v pendingMu=%d pendingConf=%d lastDelivered=%d",
+					p, g, in.Leader(), in.Term(), in.IsLeader(), in.Electing(), in.Recovering(),
+					in.PendingCount(), len(r.pendingConf), in.LastDelivered())
+			}
+		}
+		t.Fatalf("%s seed=%d: chaos run never drained (queues %d/%d, pending %d)", cls.Name, seed, free, conf, h.pending)
+	}
+	h.checkConvergence()
+}
+
+func (c *chaos) countDown() int {
+	n := 0
+	for _, d := range c.down {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *chaos) pickLive() spec.ProcID {
+	for try := 0; try < 8; try++ {
+		p := spec.ProcID(c.rng.Intn(c.procs))
+		if !c.down[p] {
+			return p
+		}
+	}
+	return -1
+}
+
+// fixTags rewrites tag-bearing arguments to be globally unique.
+func fixTags(call *spec.Call, p spec.ProcID, salt uint64) {
+	switch {
+	case call.Method == crdt.ORSetAdd && len(call.Args.I) >= 2:
+		call.Args.I[1] = crdt.Tag(p, salt)
+	case call.Method == crdt.CartAdd && len(call.Args.I) >= 3:
+		call.Args.I[2] = crdt.Tag(p, salt)
+	}
+}
+
+func TestChaosCounter(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		runChaos(t, crdt.NewCounter(), seed, 150)
+	}
+}
+
+func TestChaosORSet(t *testing.T) {
+	for seed := int64(10); seed <= 12; seed++ {
+		runChaos(t, crdt.NewORSet(), seed, 120)
+	}
+}
+
+func TestChaosAccount(t *testing.T) {
+	// Conflicting + dependent methods with real invariants under chaos:
+	// the leader of the withdraw group itself suspends and resumes.
+	for seed := int64(20); seed <= 22; seed++ {
+		runChaos(t, crdt.NewAccount(), seed, 120)
+	}
+}
+
+func TestChaosCourseware(t *testing.T) {
+	for seed := int64(30); seed <= 31; seed++ {
+		runChaos(t, schema.NewCourseware(), seed, 100)
+	}
+}
+
+func TestChaosMovie(t *testing.T) {
+	// Two sync groups: both leaders can churn.
+	for seed := int64(40); seed <= 41; seed++ {
+		runChaos(t, schema.NewMovie(), seed, 100)
+	}
+}
+
+// TestChaosSoak is a longer randomized churn across many seeds and
+// classes; skipped in -short runs.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	classes := []func() *spec.Class{
+		crdt.NewCounter, crdt.NewPNCounter, crdt.NewTwoPSet, crdt.NewORSet,
+		crdt.NewAccount, crdt.NewBankMap,
+		schema.NewCourseware, schema.NewMovie, schema.NewAuction, schema.NewTournament,
+	}
+	for i, mk := range classes {
+		for seed := int64(0); seed < 4; seed++ {
+			runChaos(t, mk(), 500+int64(i)*10+seed, 200)
+		}
+	}
+}

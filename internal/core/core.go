@@ -1,0 +1,341 @@
+// Package core implements the Hamband runtime (§4): well-coordinated
+// replicated data types executed over the simulated RDMA fabric using only
+// one-sided communication.
+//
+// Each node hosts a Replica of the object. Client calls are dispatched by
+// the method's category from the coordination analysis:
+//
+//   - queries evaluate locally against Apply(S)(σ);
+//   - reducible calls are summarized with the local summary and overwritten
+//     into a summary slot at every node with single one-sided writes; the
+//     slot carries the applied-call counts alongside the summary, so the
+//     paper's S-before-A write-ordering requirement holds trivially;
+//   - irreducible conflict-free calls apply locally and travel through the
+//     reliable broadcast into per-source F buffers;
+//   - conflicting calls are routed to their synchronization group's Mu
+//     instance, whose leader checks permissibility, attaches the dependency
+//     record and orders them into the L buffers.
+//
+// Buffered calls apply only once their dependency records are satisfied by
+// the local applied map. Failures are handled by the heartbeat detector:
+// suspicion triggers broadcast backup recovery, summary-row repair, and —
+// when the suspect leads a synchronization group — a Mu leader change.
+package core
+
+import (
+	"fmt"
+
+	"hamband/internal/broadcast"
+	"hamband/internal/heartbeat"
+	"hamband/internal/mu"
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+	"hamband/internal/trace"
+)
+
+// sumRegionBase is the summary-slot region name (namespace-prefixed).
+const sumRegionBase = "ham-sum"
+
+// Options configures a Hamband cluster.
+type Options struct {
+	Heartbeat heartbeat.Config
+	Broadcast broadcast.Config
+	Mu        mu.Config
+
+	SumSlotSize   int          // bytes per summary slot
+	SumScanPeriod sim.Duration // period of the summary-slot scan
+	ApplyPeriod   sim.Duration // retry period for dependency-blocked buffers
+
+	IssueCost sim.Duration // CPU cost to accept and dispatch a client call
+	ApplyCost sim.Duration // CPU cost to apply one update call
+	QueryCost sim.Duration // CPU cost to evaluate one query
+
+	// FreeBatchSize batches up to this many irreducible conflict-free
+	// calls into one broadcast record (1 = no batching). Batching trades
+	// propagation latency (bounded by FreeBatchDelay) for fewer ring
+	// writes — see the batching ablation.
+	FreeBatchSize  int
+	FreeBatchDelay sim.Duration
+
+	// Leaders overrides the leader of each synchronization group
+	// (default: group index modulo cluster size).
+	Leaders []spec.ProcID
+
+	// CheckIntegrity asserts the invariant on every state change (tests).
+	CheckIntegrity bool
+
+	// Tracer, when non-nil, records per-call lifecycle events
+	// (issue/order/apply/…) for debugging and the trace experiment.
+	Tracer *trace.Tracer
+
+	// DisableFailureHandling turns off detectors and recovery (ablation).
+	DisableFailureHandling bool
+
+	// Namespace isolates this cluster's memory regions and consensus
+	// groups, so several replicated objects can share one fabric. The
+	// heartbeat infrastructure is shared across namespaces.
+	Namespace string
+}
+
+// DefaultOptions returns production-shaped parameters.
+func DefaultOptions() Options {
+	return Options{
+		Heartbeat:      heartbeat.DefaultConfig(),
+		Broadcast:      broadcast.DefaultConfig(),
+		Mu:             mu.DefaultConfig(),
+		SumSlotSize:    16 * 1024,
+		SumScanPeriod:  2 * sim.Microsecond,
+		ApplyPeriod:    5 * sim.Microsecond,
+		IssueCost:      100 * sim.Nanosecond,
+		ApplyCost:      50 * sim.Nanosecond,
+		QueryCost:      100 * sim.Nanosecond,
+		FreeBatchSize:  1,
+		FreeBatchDelay: 5 * sim.Microsecond,
+	}
+}
+
+// Cluster is a set of Hamband replicas of one object over an RDMA fabric.
+type Cluster struct {
+	Fab      *rdma.Fabric
+	An       *spec.Analysis
+	Opts     Options
+	Replicas []*Replica
+	leaders  []spec.ProcID
+}
+
+// muGroup names the consensus group of synchronization group g within a
+// namespace.
+func muGroup(ns string, g int) string { return fmt.Sprintf("%sham-g%d", ns, g) }
+
+// NewCluster builds a Hamband deployment of the analyzed class over fab:
+// it registers all memory regions, creates the broadcast, heartbeat and
+// per-group consensus instances, and starts every replica's pollers.
+func NewCluster(fab *rdma.Fabric, an *spec.Analysis, opts Options) *Cluster {
+	n := fab.Size()
+	c := &Cluster{Fab: fab, An: an, Opts: opts}
+	c.leaders = opts.Leaders
+	if c.leaders == nil {
+		for g := range an.SyncGroups {
+			c.leaders = append(c.leaders, spec.ProcID(g%n))
+		}
+	}
+
+	// Region registration.
+	c.Opts.Broadcast.Namespace = opts.Namespace
+	broadcast.Setup(fab, c.Opts.Broadcast)
+	for g := range an.SyncGroups {
+		mu.Setup(fab, muGroup(opts.Namespace, g), opts.Mu, rdma.NodeID(c.leaders[g]))
+	}
+	nslots := len(an.Class.SumGroups) * n
+	for i := 0; i < n; i++ {
+		node := fab.Node(rdma.NodeID(i))
+		if nslots > 0 {
+			r := node.Register(opts.Namespace+sumRegionBase, nslots*opts.SumSlotSize)
+			r.AllowAllWrites() // single-writer per slot by protocol
+		}
+		if !opts.DisableFailureHandling {
+			heartbeat.Register(node)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		c.Replicas = append(c.Replicas, newReplica(c, spec.ProcID(i)))
+	}
+	return c
+}
+
+// Leader returns the current leader of synchronization group g as known by
+// replica p.
+func (c *Cluster) Leader(p spec.ProcID, g int) spec.ProcID {
+	return spec.ProcID(c.Replicas[p].groups[g].Leader())
+}
+
+// Replica returns the replica at process p.
+func (c *Cluster) Replica(p spec.ProcID) *Replica { return c.Replicas[p] }
+
+// Stop cancels every replica's pollers, detectors, heartbeats and
+// consensus instances. The cluster must not be used afterwards; memory
+// regions stay registered on the fabric.
+func (c *Cluster) Stop() {
+	for _, r := range c.Replicas {
+		r.stop()
+	}
+}
+
+// sumSlot holds the decoded view of one summary slot.
+type sumSlot struct {
+	version uint32
+	call    spec.Call
+	counts  []uint32 // applied counts per method of the group, in group order
+}
+
+// pendingEntry is a buffered call awaiting dependency satisfaction.
+type pendingEntry struct {
+	c spec.Call
+	d spec.DepVec
+}
+
+// Replica is one node's Hamband runtime.
+type Replica struct {
+	cluster *Cluster
+	cls     *spec.Class
+	an      *spec.Analysis
+	opts    Options
+	node    *rdma.Node
+	id      spec.ProcID
+	n       int
+
+	sigma   spec.State
+	applied spec.AppliedMap
+	nextSeq uint64
+
+	// Summaries.
+	sums     [][]*sumSlot // [sum group][proc]
+	sumVer   [][]uint32   // local write version per own slot
+	sigmaQ   spec.State   // materialized Apply(S)(σ)
+	qDirty   bool
+	haveSums bool
+
+	// Buffers: FIFO queues of delivered-but-unapplied calls.
+	fQueues [][]pendingEntry // per source proc
+	lQueues [][]pendingEntry // per sync group
+
+	// Protocol components.
+	bc       *broadcast.Broadcaster
+	rx       *broadcast.Receiver
+	groups   []*mu.Instance
+	beater   *heartbeat.Beater
+	detector *heartbeat.Detector
+
+	// Pending conflicting requests awaiting their ordered delivery.
+	pendingConf map[uint64]func(any, error)
+
+	// Outgoing batch of irreducible conflict-free entries.
+	freeBatch   []byte
+	freeBatched int
+	flushArmed  bool
+
+	// Speculative leader state: while this replica leads a group it
+	// checks permissibility and projects dependency records against a
+	// speculative view (σ plus proposed-but-undecided calls), which is
+	// simply discarded on deposition — the authoritative σ and A only ever
+	// contain decided, delivered calls.
+	sigmaSpec spec.State
+	specA     map[callKey2]uint32
+
+	applying bool
+
+	tickers []*sim.Ticker
+
+	// Stats.
+	statApplied   uint64
+	statIssued    uint64
+	statRejected  uint64
+	statRecovered uint64
+}
+
+func newReplica(c *Cluster, id spec.ProcID) *Replica {
+	n := c.Fab.Size()
+	cls := c.An.Class
+	r := &Replica{
+		cluster:     c,
+		cls:         cls,
+		an:          c.An,
+		opts:        c.Opts,
+		node:        c.Fab.Node(rdma.NodeID(id)),
+		id:          id,
+		n:           n,
+		sigma:       cls.NewState(),
+		applied:     spec.NewAppliedMap(n, len(cls.Methods)),
+		fQueues:     make([][]pendingEntry, n),
+		lQueues:     make([][]pendingEntry, len(c.An.SyncGroups)),
+		pendingConf: make(map[uint64]func(any, error)),
+		specA:       make(map[callKey2]uint32),
+		haveSums:    len(cls.SumGroups) > 0,
+	}
+	for range cls.SumGroups {
+		row := make([]*sumSlot, n)
+		for p := range row {
+			g := len(r.sums)
+			row[p] = &sumSlot{call: cls.SumGroups[g].Identity(), counts: make([]uint32, len(cls.SumGroups[g].Methods))}
+		}
+		r.sums = append(r.sums, row)
+		r.sumVer = append(r.sumVer, make([]uint32, n))
+	}
+
+	// Broadcast: carries irreducible conflict-free calls into F buffers.
+	r.bc = broadcast.NewBroadcaster(c.Fab, r.node, c.Opts.Broadcast)
+	r.rx = broadcast.NewReceiver(c.Fab, r.node, c.Opts.Broadcast, r.onFreeDelivery)
+
+	// One consensus instance per synchronization group.
+	for g := range c.An.SyncGroups {
+		g := g
+		in := mu.NewInstance(c.Fab, r.node, muGroup(c.Opts.Namespace, g), c.Opts.Mu, rdma.NodeID(c.leaders[g]))
+		in.Transform = r.leaderTransform
+		in.Deliver = func(_ uint64, origin rdma.NodeID, payload []byte) {
+			r.onConfDelivery(g, origin, payload)
+		}
+		in.OnLeaderChange = func(leader rdma.NodeID, _ uint64) {
+			if leader != rdma.NodeID(r.id) {
+				// Deposed (or a peer elected): discard speculation.
+				r.sigmaSpec = nil
+				r.specA = make(map[callKey2]uint32)
+			}
+		}
+		r.groups = append(r.groups, in)
+	}
+
+	// Failure handling.
+	if !c.Opts.DisableFailureHandling {
+		r.beater = heartbeat.NewBeater(c.Fab.Engine(), r.node, c.Opts.Heartbeat.BeatPeriod)
+		r.detector = heartbeat.NewDetector(c.Fab, r.node, c.Opts.Heartbeat)
+		r.detector.OnSuspect = r.onSuspect
+	}
+
+	// Pollers.
+	if r.haveSums {
+		r.tickers = append(r.tickers, c.Fab.Engine().NewTicker(c.Opts.SumScanPeriod, r.scanSummaries))
+	}
+	r.tickers = append(r.tickers, c.Fab.Engine().NewTicker(c.Opts.ApplyPeriod, r.kickApply))
+	return r
+}
+
+// ID returns the replica's process id.
+func (r *Replica) ID() spec.ProcID { return r.id }
+
+// Node returns the underlying fabric node.
+func (r *Replica) Node() *rdma.Node { return r.node }
+
+// Beater returns the replica's heartbeat thread (nil when failure handling
+// is disabled); tests and the failure benchmarks suspend it to inject the
+// paper's failure mode.
+func (r *Replica) Beater() *heartbeat.Beater { return r.beater }
+
+// Group returns the consensus instance of synchronization group g.
+func (r *Replica) Group(g int) *mu.Instance { return r.groups[g] }
+
+// Applied exposes the replica's applied-call map (read-only use).
+func (r *Replica) Applied() spec.AppliedMap { return r.applied }
+
+// Stats returns (issued, applied, rejected, recovered) counters.
+func (r *Replica) Stats() (issued, applied, rejected, recovered uint64) {
+	return r.statIssued, r.statApplied, r.statRejected, r.statRecovered
+}
+
+// stop cancels the replica's background activity.
+func (r *Replica) stop() {
+	for _, t := range r.tickers {
+		t.Cancel()
+	}
+	r.rx.Stop()
+	for _, in := range r.groups {
+		in.Stop()
+	}
+	if r.beater != nil {
+		r.beater.Stop()
+	}
+	if r.detector != nil {
+		r.detector.Stop()
+	}
+}

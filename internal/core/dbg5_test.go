@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"hamband/internal/schema"
+	"hamband/internal/trace"
+)
+
+func TestDbgCourseware560(t *testing.T) {
+	tr := &trace.Tracer{}
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Println("PANIC:", rec)
+			fmt.Println("--- timeline p1#15:")
+			for _, e := range tr.Timeline("p1#15") {
+				fmt.Printf("  t=%d n%d %s %s\n", e.At, e.Node, e.Kind, e.Note)
+			}
+			// list all conflicting-group calls and their apply events at n0
+			var lines []string
+			for _, c := range tr.Calls() {
+				tl := tr.Timeline(c)
+				issue := ""
+				var applies []string
+				for _, e := range tl {
+					if e.Kind == trace.Issue {
+						issue = e.Note
+					}
+					if (e.Kind == trace.Apply || e.Kind == trace.Order) && e.Node == 0 {
+						applies = append(applies, fmt.Sprintf("t=%d:%s", e.At, e.Kind))
+					}
+				}
+				if strings.Contains(issue, "addCourse") || strings.Contains(issue, "deleteCourse") || strings.Contains(issue, "enroll") {
+					lines = append(lines, fmt.Sprintf("%s %s n0:%v", c, issue, applies))
+				}
+			}
+			sort.Strings(lines)
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+			t.Fatal("dumped")
+		}
+	}()
+	runChaosTraced(t, schema.NewCourseware(), 560, 200, tr)
+}

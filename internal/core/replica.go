@@ -1,0 +1,772 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hamband/internal/codec"
+	"hamband/internal/rdma"
+	"hamband/internal/spec"
+	"hamband/internal/trace"
+)
+
+// callID renders a call's request identity for traces.
+func callID(c spec.Call) string { return fmt.Sprintf("p%d#%d", c.Proc, c.Seq) }
+
+// trace records a lifecycle event when tracing is enabled.
+func (r *Replica) trace(kind trace.Kind, c spec.Call, note string) {
+	r.opts.Tracer.Record(int(r.id), kind, callID(c), note)
+}
+
+// Errors returned to clients through Invoke's callback.
+var (
+	ErrImpermissible = errors.New("core: call not locally permissible")
+	ErrNotUpdate     = errors.New("core: method is neither update nor query")
+	ErrDown          = errors.New("core: replica is down")
+)
+
+// Invoke submits a client call at this replica. onDone, if non-nil, runs on
+// the replica's CPU when the call completes: immediately after local
+// execution for queries, reducible and irreducible conflict-free calls, and
+// after ordered delivery for conflicting calls. The result is the query's
+// return value (nil for updates).
+func (r *Replica) Invoke(u spec.MethodID, args spec.Args, onDone func(result any, err error)) {
+	if r.node.Suspended() || r.node.Crashed() {
+		if onDone != nil {
+			onDone(nil, ErrDown)
+		}
+		return
+	}
+	r.node.CPU.Exec(r.opts.IssueCost, func() {
+		r.statIssued++
+		switch r.an.Category[u] {
+		case spec.CatQuery:
+			r.node.CPU.Exec(r.opts.QueryCost, func() {
+				v := r.cls.Methods[u].Eval(r.queryState(), args)
+				if onDone != nil {
+					onDone(v, nil)
+				}
+			})
+		case spec.CatReducible:
+			r.invokeReduce(u, args, onDone)
+		case spec.CatIrreducibleFree:
+			r.invokeFree(u, args, onDone)
+		case spec.CatConflicting:
+			r.invokeConf(u, args, onDone)
+		default:
+			if onDone != nil {
+				onDone(nil, ErrNotUpdate)
+			}
+		}
+	})
+}
+
+// newCall stamps a fresh request identifier.
+func (r *Replica) newCall(u spec.MethodID, args spec.Args) spec.Call {
+	r.nextSeq++
+	return spec.Call{Method: u, Args: args, Proc: r.id, Seq: r.nextSeq}
+}
+
+// NextSeq previews the next request sequence number (workload generators
+// use it to build unique OR-set tags).
+func (r *Replica) NextSeq() uint64 { return r.nextSeq + 1 }
+
+// --- queries ------------------------------------------------------------
+
+// queryState returns Apply(S)(σ): the stored state with all summarized
+// calls applied. For classes without summarization groups this is σ itself;
+// otherwise a materialized copy is rebuilt lazily when σ or a summary slot
+// changed.
+func (r *Replica) queryState() spec.State {
+	if !r.haveSums {
+		return r.sigma
+	}
+	if r.qDirty || r.sigmaQ == nil {
+		st := r.sigma.Clone()
+		for _, row := range r.sums {
+			for _, slot := range row {
+				r.cls.ApplyCall(st, slot.call)
+			}
+		}
+		r.sigmaQ = st
+		r.qDirty = false
+	}
+	return r.sigmaQ
+}
+
+// permissible checks P against the current (summary-applied) state.
+func (r *Replica) permissible(c spec.Call) bool {
+	if r.cls.TrivialInvariant {
+		return true
+	}
+	return r.cls.Permissible(r.queryState(), c)
+}
+
+func (r *Replica) assertIntegrity(context string) {
+	if !r.opts.CheckIntegrity || r.cls.TrivialInvariant {
+		return
+	}
+	if !r.cls.Invariant(r.queryState()) {
+		panic(fmt.Sprintf("core: integrity violated at p%d during %s", r.id, context))
+	}
+}
+
+// --- reducible calls (rule REDUCE) ---------------------------------------
+
+func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any, error)) {
+	c := r.newCall(u, args)
+	r.trace(trace.Issue, c, r.cls.Methods[u].Name+" (reducible)")
+	if !r.permissible(c) {
+		r.statRejected++
+		r.trace(trace.Reject, c, "not locally permissible")
+		if onDone != nil {
+			onDone(nil, ErrImpermissible)
+		}
+		return
+	}
+	g := r.an.SumGroupOf[u]
+	slot := r.sums[g][r.id]
+	slot.call = r.cls.SumGroups[g].Summarize(slot.call, c)
+	gi := groupIndexOf(r.cls.SumGroups[g].Methods, u)
+	slot.counts[gi]++
+	r.applied.Set(r.id, u, slot.counts[gi])
+	r.qDirty = true
+	r.sumVer[g][int(r.id)]++
+	slot.version = r.sumVer[g][int(r.id)]
+
+	payload := encodeSumSlot(r.cls.SumGroups[g].Methods, slot)
+	framed, err := codec.EncodeSlot(payload, slot.version, r.opts.SumSlotSize)
+	if err != nil {
+		// The summary outgrew its slot: surface a hard configuration error.
+		panic(fmt.Sprintf("core: summary slot overflow at p%d: %v", r.id, err))
+	}
+	off := r.slotOffset(g, r.id)
+	// The seqlock frame is self-delimiting (leading version, length,
+	// payload, trailing version), so only the used prefix needs to travel;
+	// stale bytes beyond it are never read. For a counter this shrinks the
+	// wire cost from the full slot (16 KB) to ~60 bytes.
+	used := framed[:codec.SlotOverhead+len(payload)]
+	// Install locally (the issuer's own slot is the authoritative backup
+	// that peers repair from on failure) ...
+	copy(r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()[off:], used)
+	// ... then overwrite the slot at every other node with single
+	// one-sided writes. Summary and applied count travel in one slot, so
+	// no remote node can observe the count without the summary (the
+	// S-before-A ordering of rule REDUCE).
+	for p := 0; p < r.n; p++ {
+		if spec.ProcID(p) == r.id {
+			continue
+		}
+		r.node.QP(rdma.NodeID(p)).Write(r.opts.Namespace+sumRegionBase, off, used, nil)
+	}
+	r.statApplied++
+	r.assertIntegrity("reduce")
+	r.trace(trace.Reduce, c, fmt.Sprintf("summary v%d remote-written to %d peers", slot.version, r.n-1))
+	r.kickApply() // counts advanced: dependent buffered calls may unblock
+	if onDone != nil {
+		onDone(nil, nil)
+	}
+}
+
+func (r *Replica) slotOffset(g int, p spec.ProcID) int {
+	return (g*r.n + int(p)) * r.opts.SumSlotSize
+}
+
+func groupIndexOf(methods []spec.MethodID, u spec.MethodID) int {
+	for i, m := range methods {
+		if m == u {
+			return i
+		}
+	}
+	panic("core: method not in its summarization group")
+}
+
+// encodeSumSlot serializes a summary slot's payload:
+// u16 #methods | (u32 count)* | codec entry of the summary call.
+func encodeSumSlot(methods []spec.MethodID, s *sumSlot) []byte {
+	b := make([]byte, 0, 2+4*len(s.counts)+64)
+	b = append(b, byte(len(methods)), byte(len(methods)>>8))
+	for _, c := range s.counts {
+		var w [4]byte
+		w[0], w[1], w[2], w[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+		b = append(b, w[:]...)
+	}
+	entry, err := codec.EncodeEntry(s.call, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: summary call too large: %v", err))
+	}
+	return append(b, entry...)
+}
+
+func decodeSumSlot(b []byte) (counts []uint32, call spec.Call, err error) {
+	if len(b) < 2 {
+		return nil, call, codec.ErrCorrupt
+	}
+	n := int(b[0]) | int(b[1])<<8
+	p := 2
+	if len(b) < p+4*n {
+		return nil, call, codec.ErrCorrupt
+	}
+	counts = make([]uint32, n)
+	for i := range counts {
+		counts[i] = uint32(b[p]) | uint32(b[p+1])<<8 | uint32(b[p+2])<<16 | uint32(b[p+3])<<24
+		p += 4
+	}
+	call, _, _, err = codec.DecodeEntry(b[p:])
+	return counts, call, err
+}
+
+// scanSummaries polls the local summary region for slots remotely
+// overwritten by peers and adopts newer versions: the decoded summary call
+// replaces the cached one and the applied counts advance.
+func (r *Replica) scanSummaries() {
+	if r.node.Suspended() || r.node.Crashed() {
+		return
+	}
+	region := r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()
+	changed := false
+	for g, row := range r.sums {
+		for p, slot := range row {
+			if spec.ProcID(p) == r.id {
+				continue // own slot is written locally
+			}
+			off := r.slotOffset(g, spec.ProcID(p))
+			payload, ver, err := codec.DecodeSlot(region[off : off+r.opts.SumSlotSize])
+			if err != nil || ver == slot.version || ver < slot.version {
+				continue
+			}
+			counts, call, derr := decodeSumSlot(payload)
+			if derr != nil {
+				continue
+			}
+			slot.version = ver
+			slot.call = call
+			methods := r.cls.SumGroups[g].Methods
+			for i, u := range methods {
+				if i < len(counts) && counts[i] > r.applied.Get(spec.ProcID(p), u) {
+					r.applied.Set(spec.ProcID(p), u, counts[i])
+					r.statApplied++
+				}
+			}
+			changed = true
+		}
+	}
+	if changed {
+		r.qDirty = true
+		r.assertIntegrity("summary scan")
+		r.kickApply()
+	}
+}
+
+// --- irreducible conflict-free calls (rules FREE / FREE-APP) -------------
+
+func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, onDone func(any, error)) {
+	c := r.newCall(u, args)
+	r.trace(trace.Issue, c, r.cls.Methods[u].Name+" (irreducible conflict-free)")
+	if !r.permissible(c) {
+		r.statRejected++
+		r.trace(trace.Reject, c, "not locally permissible")
+		if onDone != nil {
+			onDone(nil, ErrImpermissible)
+		}
+		return
+	}
+	d := r.applied.Project(r.an.DependsOn[u])
+	r.node.CPU.Exec(r.opts.ApplyCost, func() {
+		r.cls.ApplyCall(r.sigma, c)
+		r.qDirty = true
+		r.applied.Inc(r.id, u)
+		r.statApplied++
+		r.syncSpec(c)
+		r.assertIntegrity("free")
+		entry, err := codec.EncodeEntry(c, d)
+		if err != nil {
+			if onDone != nil {
+				onDone(nil, err)
+			}
+			return
+		}
+		if berr := r.enqueueFree(entry); berr != nil {
+			if onDone != nil {
+				onDone(nil, berr)
+			}
+			return
+		}
+		r.trace(trace.FreeSend, c, "applied locally, broadcast to F buffers")
+		r.kickApply()
+		if onDone != nil {
+			onDone(nil, nil)
+		}
+	})
+}
+
+// maxFreeBatchBytes bounds a batch so its broadcast record still fits the
+// reliable broadcast's backup slot. The backup stores the sequence number
+// plus the codec-framed ring record, which itself wraps the sequence number
+// and the batch: seqlock frame (12) + seq (8) + raw framing (5) + seq (8),
+// with a small safety margin.
+func (r *Replica) maxFreeBatchBytes() int {
+	return r.opts.Broadcast.BackupSlot - codec.SlotOverhead - 8 - 5 - 8 - 16
+}
+
+// enqueueFree appends an encoded (c, D) entry to the outgoing batch and
+// flushes when the batch is full (by count or by the backup-slot byte
+// budget); a delayed flush bounds the added propagation latency. With
+// FreeBatchSize ≤ 1 entries broadcast immediately.
+func (r *Replica) enqueueFree(entry []byte) error {
+	if r.opts.FreeBatchSize <= 1 {
+		return r.bc.Broadcast(entry, nil)
+	}
+	if len(r.freeBatch) > 0 && len(r.freeBatch)+len(entry) > r.maxFreeBatchBytes() {
+		if err := r.flushFree(); err != nil {
+			return err
+		}
+	}
+	r.freeBatch = append(r.freeBatch, entry...)
+	r.freeBatched++
+	if r.freeBatched >= r.opts.FreeBatchSize {
+		return r.flushFree()
+	}
+	if !r.flushArmed {
+		r.flushArmed = true
+		r.cluster.Fab.Engine().After(r.opts.FreeBatchDelay, func() {
+			if r.flushArmed {
+				_ = r.flushFree()
+			}
+		})
+	}
+	return nil
+}
+
+// flushFree broadcasts the pending batch as one record.
+func (r *Replica) flushFree() error {
+	r.flushArmed = false
+	if r.freeBatched == 0 {
+		return nil
+	}
+	batch := r.freeBatch
+	r.freeBatch = nil
+	r.freeBatched = 0
+	return r.bc.Broadcast(batch, nil)
+}
+
+// onFreeDelivery receives a broadcast batch of (c, D) pairs into the F
+// buffer of its source and tries to apply. Entries are self-delimiting, so
+// single-entry and batched records share one decode loop.
+func (r *Replica) onFreeDelivery(src rdma.NodeID, _ uint64, payload []byte) {
+	for len(payload) > 0 {
+		c, d, n, err := codec.DecodeEntry(payload)
+		if err != nil {
+			return
+		}
+		r.fQueues[src] = append(r.fQueues[src], pendingEntry{c: c, d: d})
+		payload = payload[n:]
+	}
+	r.kickApply()
+}
+
+// --- conflicting calls (rules CONF / CONF-APP) ----------------------------
+
+// confFlagRejected marks an entry the leader found impermissible: it is
+// sequenced (so the origin gets its response) but applied nowhere.
+const confFlagRejected = 1
+
+func (r *Replica) invokeConf(u spec.MethodID, args spec.Args, onDone func(any, error)) {
+	c := r.newCall(u, args)
+	r.trace(trace.Issue, c, fmt.Sprintf("%s (conflicting, group %d, leader p%d)",
+		r.cls.Methods[u].Name, r.an.SyncGroupOf[u], r.groups[r.an.SyncGroupOf[u]].Leader()))
+	g := r.an.SyncGroupOf[u]
+	if onDone != nil {
+		r.pendingConf[c.Seq] = onDone
+	}
+	entry, err := codec.EncodeEntry(c, nil)
+	if err != nil {
+		delete(r.pendingConf, c.Seq)
+		if onDone != nil {
+			onDone(nil, err)
+		}
+		return
+	}
+	// Flag byte travels ahead of the entry; the leader's Transform decides.
+	r.groups[g].Submit(append([]byte{0}, entry...))
+}
+
+// callKey2 identifies a (process, method) cell of the speculative
+// applied-count overlay.
+type callKey2 struct {
+	p spec.ProcID
+	u spec.MethodID
+}
+
+// leaderTransform runs at the ordering point (rule CONF): the leader
+// checks permissibility against its *speculative* view — the authoritative
+// state plus proposed-but-undecided calls — and attaches the projection of
+// its (equally speculative) applied counts over the call's dependencies.
+// The speculative view lets pipelined conflicting calls see each other
+// (two withdrawals cannot both pass against the same balance) while
+// keeping σ free of undecided effects: if this leader turns out to be
+// deposed, its proposals never decide and the speculation is discarded.
+func (r *Replica) leaderTransform(_ rdma.NodeID, payload []byte) []byte {
+	if len(payload) < 1 {
+		return payload
+	}
+	c, _, _, err := codec.DecodeEntry(payload[1:])
+	if err != nil {
+		return payload
+	}
+	if !r.specPermissible(c) {
+		r.statRejected++
+		r.trace(trace.Reject, c, "rejected at the ordering point")
+		out := append([]byte(nil), payload...)
+		out[0] = confFlagRejected
+		return out
+	}
+	d := r.projectSpec(r.an.DependsOn[c.Method])
+	r.cls.ApplyCall(r.specState(), c)
+	r.specA[callKey2{c.Proc, c.Method}]++
+	r.trace(trace.Order, c, "sequenced at the leader (speculative)")
+	entry, eerr := codec.EncodeEntry(c, d)
+	if eerr != nil {
+		return payload
+	}
+	return append([]byte{0}, entry...)
+}
+
+// specState returns the speculative state, lazily forked from σ.
+func (r *Replica) specState() spec.State {
+	if r.sigmaSpec == nil {
+		r.sigmaSpec = r.sigma.Clone()
+	}
+	return r.sigmaSpec
+}
+
+// specPermissible checks P against the speculative state with summaries
+// applied.
+func (r *Replica) specPermissible(c spec.Call) bool {
+	if r.cls.TrivialInvariant {
+		return true
+	}
+	st := r.specState().Clone()
+	for _, row := range r.sums {
+		for _, slot := range row {
+			r.cls.ApplyCall(st, slot.call)
+		}
+	}
+	r.cls.ApplyCall(st, c)
+	return r.cls.Invariant(st)
+}
+
+// projectSpec projects the applied map plus the speculative overlay over
+// the dependency methods.
+func (r *Replica) projectSpec(deps []spec.MethodID) spec.DepVec {
+	d := r.applied.Project(deps)
+	if len(d) == 0 || len(r.specA) == 0 {
+		return d
+	}
+	k := len(deps)
+	for p := 0; p < r.n; p++ {
+		for i, u := range deps {
+			if extra := r.specA[callKey2{spec.ProcID(p), u}]; extra > 0 {
+				d[p*k+i] += extra
+			}
+		}
+	}
+	return d
+}
+
+// onConfDelivery receives an ordered group entry into the L buffer (or
+// completes the pending request when this replica both issued and, as
+// leader, already applied it).
+func (r *Replica) onConfDelivery(g int, _ rdma.NodeID, payload []byte) {
+	if len(payload) < 1 {
+		return
+	}
+	flags := payload[0]
+	c, d, _, err := codec.DecodeEntry(payload[1:])
+	if err != nil {
+		return
+	}
+	if flags&confFlagRejected != 0 {
+		if c.Proc == r.id {
+			r.complete(c.Seq, nil, ErrImpermissible)
+		}
+		return
+	}
+	r.lQueues[g] = append(r.lQueues[g], pendingEntry{c: c, d: d})
+	r.kickApply()
+}
+
+func (r *Replica) complete(seq uint64, v any, err error) {
+	if cb, ok := r.pendingConf[seq]; ok {
+		delete(r.pendingConf, seq)
+		note := "response resolved"
+		if err != nil {
+			note = "response resolved: " + err.Error()
+		}
+		r.trace(trace.Complete, spec.Call{Proc: r.id, Seq: seq}, note)
+		cb(v, err)
+	}
+}
+
+// --- the apply pump (rules FREE-APP / CONF-APP) ---------------------------
+
+// kickApply starts the apply pump if any buffered call's dependencies are
+// satisfied. The pump charges the apply cost per call on the CPU and
+// processes buffers FIFO.
+func (r *Replica) kickApply() {
+	if r.applying || r.node.Suspended() || r.node.Crashed() {
+		return
+	}
+	if !r.anyApplicable() {
+		return
+	}
+	r.applying = true
+	r.node.CPU.Exec(r.opts.ApplyCost, r.applyStep)
+}
+
+func (r *Replica) applyStep() {
+	r.applying = false
+	if r.applyOne() {
+		r.kickApply()
+	}
+}
+
+func (r *Replica) anyApplicable() bool {
+	for _, q := range r.fQueues {
+		if len(q) > 0 && r.applied.Satisfies(q[0].d, r.an.DependsOn[q[0].c.Method]) {
+			return true
+		}
+	}
+	for _, q := range r.lQueues {
+		if len(q) > 0 && r.applied.Satisfies(q[0].d, r.an.DependsOn[q[0].c.Method]) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyOne applies the first applicable buffer head and reports whether it
+// did any work.
+func (r *Replica) applyOne() bool {
+	for src := range r.fQueues {
+		if len(r.fQueues[src]) > 0 {
+			e := r.fQueues[src][0]
+			if r.applied.Satisfies(e.d, r.an.DependsOn[e.c.Method]) {
+				r.fQueues[src] = r.fQueues[src][1:]
+				r.applyEntry(e, "free-app")
+				return true
+			}
+		}
+	}
+	for g := range r.lQueues {
+		if len(r.lQueues[g]) > 0 {
+			e := r.lQueues[g][0]
+			if r.applied.Satisfies(e.d, r.an.DependsOn[e.c.Method]) {
+				r.lQueues[g] = r.lQueues[g][1:]
+				r.applyEntry(e, "conf-app")
+				if e.c.Proc == r.id {
+					r.complete(e.c.Seq, nil, nil)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *Replica) applyEntry(e pendingEntry, context string) {
+	r.cls.ApplyCall(r.sigma, e.c)
+	r.qDirty = true
+	r.applied.Inc(e.c.Proc, e.c.Method)
+	r.statApplied++
+	r.syncSpec(e.c)
+	r.assertIntegrity(context + " of " + e.c.Format(r.cls))
+	r.trace(trace.Apply, e.c, context)
+}
+
+// syncSpec keeps the speculative view consistent as σ advances: a call this
+// leader speculated is already in sigmaSpec (consume its overlay count);
+// anything else must be mirrored into it.
+func (r *Replica) syncSpec(c spec.Call) {
+	if r.sigmaSpec == nil {
+		return
+	}
+	k := callKey2{c.Proc, c.Method}
+	if r.specA[k] > 0 {
+		r.specA[k]--
+		if r.specA[k] == 0 {
+			delete(r.specA, k)
+		}
+		return
+	}
+	r.cls.ApplyCall(r.sigmaSpec, c)
+}
+
+// --- failure handling ------------------------------------------------------
+
+// onSuspect reacts to the failure detector: recover pending broadcasts from
+// the suspect's backup, repair summary slots from the suspect's
+// authoritative row, and run a leader change for any synchronization group
+// the suspect led (the successor in ring order stands as candidate).
+func (r *Replica) onSuspect(peer rdma.NodeID) {
+	r.opts.Tracer.Record(int(r.id), trace.Suspect, "", fmt.Sprintf("suspects p%d", peer))
+	r.rx.RecoverFrom(peer)
+	r.repairSummaries(peer)
+	for g, in := range r.groups {
+		if in.Leader() == peer && r.isSuccessor(peer) {
+			_ = g
+			in.StartElection()
+		}
+	}
+}
+
+// isSuccessor reports whether this node is the first non-suspected node
+// after peer in ring order — the deterministic candidate choice.
+func (r *Replica) isSuccessor(peer rdma.NodeID) bool {
+	for d := 1; d < r.n; d++ {
+		next := rdma.NodeID((int(peer) + d) % r.n)
+		if next == r.node.ID() {
+			return true
+		}
+		if r.detector == nil || !r.detector.Suspected(next) {
+			return false
+		}
+	}
+	return false
+}
+
+// repairSummaries reads the suspect's own summary row remotely (its NIC
+// still serves one-sided reads under the suspension failure model) and
+// adopts any slot newer than the local copy — the summary analogue of the
+// broadcast backup recovery.
+func (r *Replica) repairSummaries(peer rdma.NodeID) {
+	if !r.haveSums {
+		return
+	}
+	for g := range r.sums {
+		g := g
+		off := r.slotOffset(g, spec.ProcID(peer))
+		r.node.QP(peer).Read(r.opts.Namespace+sumRegionBase, off, r.opts.SumSlotSize, func(data []byte, err error) {
+			if err != nil {
+				return
+			}
+			if r.adoptSlot(g, spec.ProcID(peer), data) {
+				r.statRecovered++
+			}
+		})
+	}
+}
+
+// --- introspection -----------------------------------------------------
+
+// CurrentState returns a snapshot of Apply(S)(σ) for tests and examples.
+func (r *Replica) CurrentState() spec.State { return r.queryState().Clone() }
+
+// QueueDepths reports buffered-but-unapplied calls (diagnostics).
+func (r *Replica) QueueDepths() (free, conf int) {
+	for _, q := range r.fQueues {
+		free += len(q)
+	}
+	for _, q := range r.lQueues {
+		conf += len(q)
+	}
+	return free, conf
+}
+
+// --- recency-aware queries (Hampa-style extension) ------------------------
+
+// InvokeFresh evaluates a query with a recency guarantee for summarized
+// effects: before evaluating, the replica refreshes every peer's summary
+// slot with one-sided RDMA reads of the peer's own (authoritative) copy and
+// adopts anything newer. Every reducible call that completed anywhere
+// before InvokeFresh was issued is therefore visible to the query.
+//
+// This is the query-side recency mechanism of Hampa (Li et al., CAV 2020),
+// which the paper cites as the recency-aware successor of the
+// well-coordination line; it costs one read round-trip instead of the plain
+// query's zero. Buffered (irreducible and conflicting) calls keep their
+// usual propagation; for classes without summarization groups InvokeFresh
+// degenerates to a plain query.
+func (r *Replica) InvokeFresh(q spec.MethodID, args spec.Args, onDone func(result any, err error)) {
+	if r.node.Suspended() || r.node.Crashed() {
+		if onDone != nil {
+			onDone(nil, ErrDown)
+		}
+		return
+	}
+	if r.an.Category[q] != spec.CatQuery {
+		if onDone != nil {
+			onDone(nil, ErrNotUpdate)
+		}
+		return
+	}
+	if !r.haveSums {
+		r.Invoke(q, args, onDone)
+		return
+	}
+	r.node.CPU.Exec(r.opts.IssueCost, func() {
+		remaining := 0
+		finish := func() {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			r.node.CPU.Exec(r.opts.QueryCost, func() {
+				v := r.cls.Methods[q].Eval(r.queryState(), args)
+				if onDone != nil {
+					onDone(v, nil)
+				}
+			})
+		}
+		for g := range r.sums {
+			for p := 0; p < r.n; p++ {
+				if spec.ProcID(p) == r.id {
+					continue
+				}
+				g, p := g, p
+				remaining++
+				off := r.slotOffset(g, spec.ProcID(p))
+				r.node.QP(rdma.NodeID(p)).Read(r.opts.Namespace+sumRegionBase, off, r.opts.SumSlotSize,
+					func(data []byte, err error) {
+						if err == nil {
+							r.adoptSlot(g, spec.ProcID(p), data)
+						}
+						finish()
+					})
+			}
+		}
+		if remaining == 0 { // single-node cluster
+			remaining = 1
+			finish()
+		}
+	})
+}
+
+// adoptSlot installs a freshly read remote slot if it is newer than the
+// local copy, returning whether anything changed.
+func (r *Replica) adoptSlot(g int, p spec.ProcID, data []byte) bool {
+	payload, ver, err := codec.DecodeSlot(data)
+	if err != nil {
+		return false
+	}
+	slot := r.sums[g][p]
+	if ver <= slot.version {
+		return false
+	}
+	counts, call, err := decodeSumSlot(payload)
+	if err != nil {
+		return false
+	}
+	copy(r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()[r.slotOffset(g, p):], data)
+	slot.version = ver
+	slot.call = call
+	for i, u := range r.cls.SumGroups[g].Methods {
+		if i < len(counts) && counts[i] > r.applied.Get(p, u) {
+			r.applied.Set(p, u, counts[i])
+			r.statApplied++
+		}
+	}
+	r.qDirty = true
+	r.kickApply()
+	return true
+}

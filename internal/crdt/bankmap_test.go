@@ -1,0 +1,73 @@
+package crdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"hamband/internal/spec"
+)
+
+func TestBankMapAnalysis(t *testing.T) {
+	cls := NewBankMap()
+	a, err := spec.Analyze(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Category[BankOpen] != spec.CatReducible {
+		t.Fatalf("open category = %v, want reducible", a.Category[BankOpen])
+	}
+	// The §2 claim: deposit is conflict-free but dependent on open, so it
+	// is irreducible conflict-free.
+	if a.Category[BankDeposit] != spec.CatIrreducibleFree {
+		t.Fatalf("deposit category = %v, want irreducible conflict-free", a.Category[BankDeposit])
+	}
+	if len(a.DependsOn[BankDeposit]) != 1 || a.DependsOn[BankDeposit][0] != BankOpen {
+		t.Fatalf("Dep(deposit) = %v, want [open]", a.DependsOn[BankDeposit])
+	}
+	if a.Category[BankWithdraw] != spec.CatConflicting {
+		t.Fatalf("withdraw category = %v, want conflicting", a.Category[BankWithdraw])
+	}
+	deps := a.DependsOn[BankWithdraw]
+	if len(deps) != 2 || deps[0] != BankOpen || deps[1] != BankDeposit {
+		t.Fatalf("Dep(withdraw) = %v, want [open deposit]", deps)
+	}
+}
+
+func TestBankMapRelations(t *testing.T) {
+	if err := spec.CheckRelations(NewBankMap(), rand.New(rand.NewSource(13)), 800); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankMapSemantics(t *testing.T) {
+	cls := NewBankMap()
+	s := cls.NewState()
+	dep := spec.Call{Method: BankDeposit, Args: spec.ArgsI(3, 10)}
+	if cls.Permissible(s, dep) {
+		t.Fatal("deposit to unopened account should be impermissible")
+	}
+	cls.ApplyCall(s, spec.Call{Method: BankOpen, Args: spec.ArgsI(3, 4)})
+	if !cls.Permissible(s, dep) {
+		t.Fatal("deposit to open account should be permissible")
+	}
+	cls.ApplyCall(s, dep)
+	if cls.Permissible(s, spec.Call{Method: BankWithdraw, Args: spec.ArgsI(3, 11)}) {
+		t.Fatal("overdraft should be impermissible")
+	}
+	cls.ApplyCall(s, spec.Call{Method: BankWithdraw, Args: spec.ArgsI(3, 4)})
+	if got := cls.Methods[BankBalance].Eval(s, spec.ArgsI(3)); got.(int64) != 6 {
+		t.Fatalf("balance = %v, want 6", got)
+	}
+	if got := cls.Methods[BankBalance].Eval(s, spec.ArgsI(4)); got.(int64) != 0 {
+		t.Fatalf("balance of empty open account = %v, want 0", got)
+	}
+}
+
+func TestBankMapOpenSummarizes(t *testing.T) {
+	g := NewBankMap().SumGroups[0]
+	a := spec.Call{Method: BankOpen, Args: spec.ArgsI(1, 2)}
+	b := spec.Call{Method: BankOpen, Args: spec.ArgsI(2, 3)}
+	if sum := g.Summarize(a, b); len(sum.Args.I) != 3 {
+		t.Fatalf("summary = %v, want union of 3", sum.Args.I)
+	}
+}

@@ -1,0 +1,182 @@
+package crdt
+
+import (
+	"sort"
+
+	"hamband/internal/spec"
+)
+
+// lwwCell is one key's register: the value and the (timestamp, value)
+// winner metadata (ties break to the larger value, as in the LWW register).
+type lwwCell struct {
+	V  string
+	TS int64
+}
+
+func (c lwwCell) beats(o lwwCell) bool {
+	return c.TS > o.TS || (c.TS == o.TS && c.V > o.V)
+}
+
+// LWWMapState is the state of the last-writer-wins map: a dictionary of
+// independent LWW registers keyed by strings (a replicated configuration
+// registry).
+type LWWMapState struct {
+	Cells map[string]lwwCell
+}
+
+// Clone implements spec.State.
+func (s *LWWMapState) Clone() spec.State {
+	c := &LWWMapState{Cells: make(map[string]lwwCell, len(s.Cells))}
+	for k, v := range s.Cells {
+		c.Cells[k] = v
+	}
+	return c
+}
+
+// Equal implements spec.State.
+func (s *LWWMapState) Equal(o spec.State) bool {
+	t, ok := o.(*LWWMapState)
+	if !ok || len(s.Cells) != len(t.Cells) {
+		return false
+	}
+	for k, v := range s.Cells {
+		if t.Cells[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// LWWMap method IDs.
+const (
+	LWWMapSet spec.MethodID = iota
+	LWWMapGet
+	LWWMapLen
+)
+
+// lwwMapArgs encodes entries as parallel vectors: Args.S holds
+// key1,val1,key2,val2,…; Args.I holds one timestamp per entry.
+func lwwMapDecode(a spec.Args) []struct {
+	K string
+	C lwwCell
+} {
+	n := len(a.I)
+	out := make([]struct {
+		K string
+		C lwwCell
+	}, 0, n)
+	for i := 0; i < n && 2*i+1 < len(a.S); i++ {
+		out = append(out, struct {
+			K string
+			C lwwCell
+		}{K: a.S[2*i], C: lwwCell{V: a.S[2*i+1], TS: a.I[i]}})
+	}
+	return out
+}
+
+// NewLWWMap returns a last-writer-wins map with string keys and values —
+// per-key LWW registers under one object (a replicated configuration
+// registry). set takes a *set of entries*, so two set calls summarize into
+// one (the per-key winners), making the method reducible: a whole burst of
+// configuration updates travels as one remote write. It is also the
+// bundled data type exercising string arguments through the wire codec.
+//
+//   - set(entries…) — each entry is (key, value, timestamp);
+//   - get(key) — the current value ("" when absent);
+//   - size() — number of keys.
+func NewLWWMap() *spec.Class {
+	cls := &spec.Class{
+		Name: "lwwmap",
+		Methods: []spec.Method{
+			LWWMapSet: {
+				Name: "set",
+				Kind: spec.Update,
+				Apply: func(s spec.State, a spec.Args) {
+					st := s.(*LWWMapState)
+					for _, e := range lwwMapDecode(a) {
+						if cur, ok := st.Cells[e.K]; !ok || e.C.beats(cur) {
+							st.Cells[e.K] = e.C
+						}
+					}
+				},
+			},
+			LWWMapGet: {
+				Name: "get",
+				Kind: spec.Query,
+				Eval: func(s spec.State, a spec.Args) any {
+					return s.(*LWWMapState).Cells[a.S[0]].V
+				},
+			},
+			LWWMapLen: {
+				Name: "size",
+				Kind: spec.Query,
+				Eval: func(s spec.State, _ spec.Args) any {
+					return int64(len(s.(*LWWMapState).Cells))
+				},
+			},
+		},
+		NewState:  func() spec.State { return &LWWMapState{Cells: make(map[string]lwwCell)} },
+		Invariant: invariantTrue,
+		Rel:       crdtRelations(),
+		SumGroups: []spec.SumGroup{{
+			Name:    "set",
+			Methods: []spec.MethodID{LWWMapSet},
+			Identity: func() spec.Call {
+				return spec.Call{Method: LWWMapSet}
+			},
+			Summarize: func(a, b spec.Call) spec.Call {
+				// Per-key winners of both calls, serialized with sorted
+				// keys for a deterministic summary.
+				win := make(map[string]lwwCell)
+				for _, c := range []spec.Call{a, b} {
+					for _, e := range lwwMapDecode(c.Args) {
+						if cur, ok := win[e.K]; !ok || e.C.beats(cur) {
+							win[e.K] = e.C
+						}
+					}
+				}
+				keys := make([]string, 0, len(win))
+				for k := range win {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				var args spec.Args
+				for _, k := range keys {
+					args.S = append(args.S, k, win[k].V)
+					args.I = append(args.I, win[k].TS)
+				}
+				return spec.Call{Method: LWWMapSet, Args: args}
+			},
+		}},
+	}
+	keyNames := []string{"region", "quota", "owner", "mode", "limit", "tier", "zone", "plan"}
+	cls.Gen = spec.Generators{
+		State: func(r spec.Rand) spec.State {
+			st := &LWWMapState{Cells: make(map[string]lwwCell)}
+			for i, n := 0, r.Intn(5); i < n; i++ {
+				st.Cells[keyNames[r.Intn(len(keyNames))]] = lwwCell{
+					V:  keyNames[r.Intn(len(keyNames))],
+					TS: int64(1 + r.Intn(50)),
+				}
+			}
+			return st
+		},
+		Call: func(r spec.Rand, u spec.MethodID) spec.Call {
+			switch u {
+			case LWWMapSet:
+				var args spec.Args
+				for i, n := 0, 1+r.Intn(3); i < n; i++ {
+					args.S = append(args.S,
+						keyNames[r.Intn(len(keyNames))], keyNames[r.Intn(len(keyNames))])
+					args.I = append(args.I, int64(1+r.Intn(100)))
+				}
+				return spec.Call{Method: LWWMapSet, Args: args}
+			case LWWMapGet:
+				return spec.Call{Method: LWWMapGet, Args: spec.ArgsS(keyNames[r.Intn(len(keyNames))])}
+			default:
+				return spec.Call{Method: LWWMapLen}
+			}
+		},
+	}
+	return markTrivial(cls)
+}

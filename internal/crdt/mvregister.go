@@ -1,0 +1,183 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hamband/internal/spec"
+)
+
+// mvEntry is one surviving write of the multi-value register: a value and
+// the version vector the writer observed.
+type mvEntry struct {
+	V  int64
+	VV []uint32
+}
+
+func (e mvEntry) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d@", e.V)
+	for _, x := range e.VV {
+		fmt.Fprintf(&b, "%d.", x)
+	}
+	return b.String()
+}
+
+// dominates reports a ≥ b pointwise with a ≠ b (a strictly supersedes b).
+func dominates(a, b []uint32) bool {
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// MVRegisterState is the state of the multi-value register: the antichain
+// of maximal writes (concurrent writes all survive until a later write
+// dominates them).
+type MVRegisterState struct {
+	Entries map[string]mvEntry
+}
+
+// Clone implements spec.State.
+func (s *MVRegisterState) Clone() spec.State {
+	c := &MVRegisterState{Entries: make(map[string]mvEntry, len(s.Entries))}
+	for k, e := range s.Entries {
+		c.Entries[k] = mvEntry{V: e.V, VV: append([]uint32(nil), e.VV...)}
+	}
+	return c
+}
+
+// Equal implements spec.State.
+func (s *MVRegisterState) Equal(o spec.State) bool {
+	t, ok := o.(*MVRegisterState)
+	if !ok || len(s.Entries) != len(t.Entries) {
+		return false
+	}
+	for k := range s.Entries {
+		if _, ok := t.Entries[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MVRegister method IDs.
+const (
+	MVWrite spec.MethodID = iota
+	MVRead
+)
+
+// NewMVRegister returns the multi-value register CRDT for nprocs processes
+// (Shapiro et al.'s MV-Register, the register that keeps all concurrent
+// writes instead of arbitrating like LWW).
+//
+// write(v, vv…) carries the version vector the writer observed (nprocs
+// components). Applying a write inserts it into the state's antichain:
+// entries dominated by the new vector are discarded; the new entry is
+// discarded if an existing one dominates it. The merge keeps the maximal
+// elements of the union of all applied writes, which is order-independent,
+// so the method is conflict-free; it is not summarizable (two surviving
+// concurrent writes cannot be one write call), making the register
+// irreducible conflict-free, like the OR-set.
+//
+// read() returns the surviving values, sorted, as "v1|v2|…".
+func NewMVRegister(nprocs int) *spec.Class {
+	cls := &spec.Class{
+		Name: "mvregister",
+		Methods: []spec.Method{
+			MVWrite: {
+				Name: "write",
+				Kind: spec.Update,
+				Apply: func(s spec.State, a spec.Args) {
+					st := s.(*MVRegisterState)
+					e := mvEntry{V: a.I[0], VV: make([]uint32, nprocs)}
+					for i := 0; i < nprocs && i+1 < len(a.I); i++ {
+						e.VV[i] = uint32(a.I[i+1])
+					}
+					// Discard if dominated by any survivor; drop survivors
+					// the new write dominates.
+					for k, old := range st.Entries {
+						if dominates(old.VV, e.VV) {
+							return
+						}
+						if dominates(e.VV, old.VV) {
+							delete(st.Entries, k)
+						}
+					}
+					st.Entries[e.key()] = e
+				},
+			},
+			MVRead: {
+				Name: "read",
+				Kind: spec.Query,
+				Eval: func(s spec.State, _ spec.Args) any {
+					st := s.(*MVRegisterState)
+					vals := make([]int64, 0, len(st.Entries))
+					for _, e := range st.Entries {
+						vals = append(vals, e.V)
+					}
+					sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+					parts := make([]string, len(vals))
+					for i, v := range vals {
+						parts[i] = fmt.Sprint(v)
+					}
+					return strings.Join(parts, "|")
+				},
+			},
+		},
+		NewState: func() spec.State {
+			return &MVRegisterState{Entries: make(map[string]mvEntry)}
+		},
+		Invariant: invariantTrue,
+		Rel:       crdtRelations(),
+	}
+	// Generators maintain per-process version-vector counters so generated
+	// writes have realistic happened-before structure.
+	vv := make([]uint32, nprocs)
+	cls.Gen = spec.Generators{
+		State: func(r spec.Rand) spec.State {
+			st := cls.NewState().(*MVRegisterState)
+			for i, n := 0, r.Intn(4); i < n; i++ {
+				p := r.Intn(nprocs)
+				vv[p]++
+				args := make([]int64, 1+nprocs)
+				args[0] = int64(r.Intn(100))
+				for j := 0; j < nprocs; j++ {
+					args[j+1] = int64(vv[j])
+				}
+				cls.ApplyCall(st, spec.Call{Method: MVWrite, Args: spec.Args{I: args}})
+			}
+			return st
+		},
+		Call: func(r spec.Rand, u spec.MethodID) spec.Call {
+			if u != MVWrite {
+				return spec.Call{Method: MVRead}
+			}
+			p := r.Intn(nprocs)
+			vv[p]++
+			args := make([]int64, 1+nprocs)
+			args[0] = int64(r.Intn(100))
+			for j := 0; j < nprocs; j++ {
+				// A writer observes a (possibly stale) prefix of other
+				// processes' counters and its own current counter.
+				if j == p {
+					args[j+1] = int64(vv[j])
+				} else {
+					args[j+1] = int64(vv[j]) - int64(r.Intn(2))
+					if args[j+1] < 0 {
+						args[j+1] = 0
+					}
+				}
+			}
+			return spec.Call{Method: MVWrite, Args: spec.Args{I: args}}
+		},
+	}
+	return markTrivial(cls)
+}

@@ -1,0 +1,168 @@
+package crdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"hamband/internal/spec"
+)
+
+func rgaInsert(anchor, id int64, ch byte) spec.Call {
+	return spec.Call{Method: RGAInsert, Args: spec.ArgsI(anchor, id, int64(ch))}
+}
+
+func rgaRemove(id int64) spec.Call {
+	return spec.Call{Method: RGARemove, Args: spec.ArgsI(id)}
+}
+
+func rgaRead(t *testing.T, cls *spec.Class, s spec.State) string {
+	t.Helper()
+	return cls.Methods[RGARead].Eval(s, spec.Args{}).(string)
+}
+
+func TestRGASequentialEditing(t *testing.T) {
+	cls := NewRGA()
+	s := cls.NewState()
+	h := Tag(0, 1)
+	i := Tag(0, 2)
+	x := Tag(0, 3)
+	cls.ApplyCall(s, rgaInsert(0, h, 'h'))
+	cls.ApplyCall(s, rgaInsert(h, i, 'i'))
+	cls.ApplyCall(s, rgaInsert(i, x, '!'))
+	if got := rgaRead(t, cls, s); got != "hi!" {
+		t.Fatalf("read = %q, want hi!", got)
+	}
+	cls.ApplyCall(s, rgaRemove(i))
+	if got := rgaRead(t, cls, s); got != "h!" {
+		t.Fatalf("after remove = %q, want h!", got)
+	}
+	if n := cls.Methods[RGALength].Eval(s, spec.Args{}); n.(int64) != 2 {
+		t.Fatalf("length = %v, want 2", n)
+	}
+}
+
+func TestRGAConcurrentInsertsDeterministicOrder(t *testing.T) {
+	// Two replicas insert concurrently at the head: the merged order is
+	// the same regardless of arrival order (descending id).
+	cls := NewRGA()
+	a := rgaInsert(0, Tag(1, 1), 'a')
+	b := rgaInsert(0, Tag(2, 1), 'b')
+	s1 := cls.NewState()
+	cls.ApplyCall(s1, a)
+	cls.ApplyCall(s1, b)
+	s2 := cls.NewState()
+	cls.ApplyCall(s2, b)
+	cls.ApplyCall(s2, a)
+	if !s1.Equal(s2) {
+		t.Fatal("concurrent head inserts diverge")
+	}
+	if got := rgaRead(t, cls, s1); got != "ba" {
+		t.Fatalf("merged order = %q, want ba (larger id first)", got)
+	}
+}
+
+func TestRGAAnchoredAfterTombstone(t *testing.T) {
+	cls := NewRGA()
+	s := cls.NewState()
+	x := Tag(0, 1)
+	y := Tag(0, 2)
+	cls.ApplyCall(s, rgaInsert(0, x, 'x'))
+	cls.ApplyCall(s, rgaRemove(x))
+	cls.ApplyCall(s, rgaInsert(x, y, 'y')) // anchor on a tombstone
+	if got := rgaRead(t, cls, s); got != "y" {
+		t.Fatalf("read = %q, want y", got)
+	}
+}
+
+func TestRGAParkedInsertAttachesWhenAnchorArrives(t *testing.T) {
+	// Delivery reordering: the child arrives before its anchor (cannot
+	// happen under the runtime's dependency gating, but the effector must
+	// still converge).
+	cls := NewRGA()
+	a := Tag(0, 1)
+	b := Tag(0, 2)
+	c := Tag(0, 3)
+	calls := []spec.Call{rgaInsert(0, a, 'a'), rgaInsert(a, b, 'b'), rgaInsert(b, c, 'c')}
+	s1 := cls.NewState()
+	for _, call := range calls {
+		cls.ApplyCall(s1, call)
+	}
+	// Fully reversed order: grandchild, child, root.
+	s2 := cls.NewState()
+	for i := len(calls) - 1; i >= 0; i-- {
+		cls.ApplyCall(s2, calls[i])
+	}
+	if !s1.Equal(s2) {
+		t.Fatalf("parked attachment diverged: %q vs %q", rgaRead(t, cls, s1), rgaRead(t, cls, s2))
+	}
+	if got := rgaRead(t, cls, s1); got != "abc" {
+		t.Fatalf("read = %q, want abc", got)
+	}
+}
+
+func TestRGARemoveBeforeInsertConverges(t *testing.T) {
+	cls := NewRGA()
+	x := Tag(1, 5)
+	ins := rgaInsert(0, x, 'x')
+	rem := rgaRemove(x)
+	s1 := cls.NewState()
+	cls.ApplyCall(s1, ins)
+	cls.ApplyCall(s1, rem)
+	s2 := cls.NewState()
+	cls.ApplyCall(s2, rem)
+	cls.ApplyCall(s2, ins)
+	if !s1.Equal(s2) {
+		t.Fatal("remove-before-insert diverges")
+	}
+	if got := rgaRead(t, cls, s1); got != "" {
+		t.Fatalf("read = %q, want empty", got)
+	}
+}
+
+func TestRGAAnalysisSelfDependency(t *testing.T) {
+	a := spec.MustAnalyze(NewRGA())
+	if a.Category[RGAInsert] != spec.CatIrreducibleFree {
+		t.Fatalf("insert = %v, want irreducible conflict-free", a.Category[RGAInsert])
+	}
+	deps := a.DependsOn[RGAInsert]
+	if len(deps) != 1 || deps[0] != RGAInsert {
+		t.Fatalf("Dep(insert) = %v, want [insert] (causal anchoring)", deps)
+	}
+	if a.Category[RGARemove] != spec.CatIrreducibleFree {
+		t.Fatalf("remove = %v, want irreducible conflict-free", a.Category[RGARemove])
+	}
+}
+
+func TestRGARelations(t *testing.T) {
+	if err := spec.CheckRelations(NewRGA(), rand.New(rand.NewSource(23)), 600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRGARandomPermutationsConverge(t *testing.T) {
+	cls := NewRGA()
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(8)
+		calls := make([]spec.Call, n)
+		for i := range calls {
+			u := RGAInsert
+			if r.Intn(4) == 0 {
+				u = RGARemove
+			}
+			calls[i] = cls.Gen.Call(r, u)
+		}
+		s1 := cls.NewState()
+		for _, c := range calls {
+			cls.ApplyCall(s1, c)
+		}
+		perm := r.Perm(n)
+		s2 := cls.NewState()
+		for _, i := range perm {
+			cls.ApplyCall(s2, calls[i])
+		}
+		if !s1.Equal(s2) {
+			t.Fatalf("trial %d diverged: %q vs %q", trial, renderRGA(s1.(*RGAState)), renderRGA(s2.(*RGAState)))
+		}
+	}
+}

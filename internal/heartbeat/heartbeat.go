@@ -1,0 +1,168 @@
+// Package heartbeat implements Hamband's failure detector (§4): every node
+// runs a heartbeat thread that periodically increments a local counter in a
+// registered region, and every node periodically performs one-sided RDMA
+// reads of its peers' counters. A peer whose counter stops advancing for a
+// configured number of checks is suspected; if its counter moves again it
+// is restored.
+//
+// The paper injects failures by suspending a node's heartbeat thread: the
+// node's NIC keeps serving one-sided accesses (so backup slots and summary
+// rows remain readable for recovery) while its peers detect the failure.
+// Beater.Suspend models exactly that.
+package heartbeat
+
+import (
+	"encoding/binary"
+
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+)
+
+// RegionName is the heartbeat counter region registered on every node.
+const RegionName = "hb"
+
+// RegionSize is the heartbeat region's size.
+const RegionSize = 8
+
+// Config holds detector timing parameters.
+type Config struct {
+	BeatPeriod  sim.Duration // counter increment period
+	CheckPeriod sim.Duration // remote read period
+	Threshold   int          // consecutive stale checks before suspicion
+}
+
+// DefaultConfig returns timings in line with microsecond-scale RDMA
+// deployments: 10 µs beats, 25 µs checks, suspicion after 3 stale checks.
+func DefaultConfig() Config {
+	return Config{
+		BeatPeriod:  10 * sim.Microsecond,
+		CheckPeriod: 25 * sim.Microsecond,
+		Threshold:   3,
+	}
+}
+
+// Register registers the heartbeat region on a node before starting
+// beaters or detectors. It is idempotent: multiple clusters sharing a
+// fabric share one heartbeat region per node.
+func Register(node *rdma.Node) *rdma.Region {
+	if r := node.Region(RegionName); r != nil {
+		return r
+	}
+	return node.Register(RegionName, RegionSize)
+}
+
+// Beater is a node's heartbeat thread.
+type Beater struct {
+	node      *rdma.Node
+	region    *rdma.Region
+	count     uint64
+	suspended bool
+	ticker    *sim.Ticker
+}
+
+// NewBeater starts a heartbeat thread on node with the given period.
+func NewBeater(eng *sim.Engine, node *rdma.Node, period sim.Duration) *Beater {
+	b := &Beater{node: node, region: node.Region(RegionName)}
+	b.ticker = eng.NewTicker(period, b.beat)
+	return b
+}
+
+func (b *Beater) beat() {
+	if b.suspended || b.node.Suspended() || b.node.Crashed() {
+		return
+	}
+	b.count++
+	binary.LittleEndian.PutUint64(b.region.Bytes(), b.count)
+}
+
+// Suspend stops the heartbeat thread without touching anything else — the
+// paper's failure injection.
+func (b *Beater) Suspend() { b.suspended = true }
+
+// Resume restarts a suspended heartbeat thread.
+func (b *Beater) Resume() { b.suspended = false }
+
+// Stop cancels the underlying ticker.
+func (b *Beater) Stop() { b.ticker.Cancel() }
+
+// Detector watches all peers of a node and reports suspicion transitions.
+type Detector struct {
+	fab  *rdma.Fabric
+	node *rdma.Node
+	cfg  Config
+
+	lastSeen  []uint64
+	misses    []int
+	suspected []bool
+	ticker    *sim.Ticker
+
+	// OnSuspect is invoked (on the detector node's CPU) when a peer
+	// transitions to suspected.
+	OnSuspect func(peer rdma.NodeID)
+	// OnRestore is invoked when a suspected peer's counter advances again.
+	OnRestore func(peer rdma.NodeID)
+}
+
+// NewDetector starts a failure detector on node.
+func NewDetector(fab *rdma.Fabric, node *rdma.Node, cfg Config) *Detector {
+	n := fab.Size()
+	d := &Detector{
+		fab:       fab,
+		node:      node,
+		cfg:       cfg,
+		lastSeen:  make([]uint64, n),
+		misses:    make([]int, n),
+		suspected: make([]bool, n),
+	}
+	d.ticker = fab.Engine().NewTicker(cfg.CheckPeriod, d.check)
+	return d
+}
+
+// Stop cancels the detector.
+func (d *Detector) Stop() { d.ticker.Cancel() }
+
+// Suspected reports whether peer is currently suspected.
+func (d *Detector) Suspected(peer rdma.NodeID) bool { return d.suspected[peer] }
+
+// check posts one heartbeat read per peer; results are handled
+// asynchronously as completions arrive.
+func (d *Detector) check() {
+	if d.node.Suspended() || d.node.Crashed() {
+		return
+	}
+	for peer := 0; peer < d.fab.Size(); peer++ {
+		peer := rdma.NodeID(peer)
+		if peer == d.node.ID() {
+			continue
+		}
+		d.node.QP(peer).Read(RegionName, 0, 8, func(data []byte, err error) {
+			if err != nil {
+				d.miss(peer) // crashed NIC: immediate miss
+				return
+			}
+			count := binary.LittleEndian.Uint64(data)
+			if count > d.lastSeen[peer] {
+				d.lastSeen[peer] = count
+				d.misses[peer] = 0
+				if d.suspected[peer] {
+					d.suspected[peer] = false
+					if d.OnRestore != nil {
+						d.OnRestore(peer)
+					}
+				}
+				return
+			}
+			d.miss(peer)
+		})
+	}
+}
+
+func (d *Detector) miss(peer rdma.NodeID) {
+	d.misses[peer]++
+	if d.misses[peer] >= d.cfg.Threshold && !d.suspected[peer] {
+		d.suspected[peer] = true
+		if d.OnSuspect != nil {
+			d.OnSuspect(peer)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package heartbeat
+
+import (
+	"testing"
+
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+)
+
+func setup(n int) (*sim.Engine, *rdma.Fabric) {
+	eng := sim.NewEngine(21)
+	fab := rdma.NewFabric(eng, n, rdma.DefaultLatency())
+	for i := 0; i < n; i++ {
+		Register(fab.Node(rdma.NodeID(i)))
+	}
+	return eng, fab
+}
+
+func TestHealthyNodesNotSuspected(t *testing.T) {
+	eng, fab := setup(3)
+	cfg := DefaultConfig()
+	var beaters []*Beater
+	var detectors []*Detector
+	for i := 0; i < 3; i++ {
+		beaters = append(beaters, NewBeater(eng, fab.Node(rdma.NodeID(i)), cfg.BeatPeriod))
+		d := NewDetector(fab, fab.Node(rdma.NodeID(i)), cfg)
+		d.OnSuspect = func(peer rdma.NodeID) {
+			t.Errorf("healthy peer %d suspected", peer)
+		}
+		detectors = append(detectors, d)
+	}
+	eng.RunUntil(sim.Time(2 * sim.Millisecond))
+	for _, b := range beaters {
+		b.Stop()
+	}
+	for _, d := range detectors {
+		d.Stop()
+	}
+}
+
+func TestSuspendedHeartbeatIsSuspected(t *testing.T) {
+	eng, fab := setup(3)
+	cfg := DefaultConfig()
+	b0 := NewBeater(eng, fab.Node(0), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(1), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(2), cfg.BeatPeriod)
+	d1 := NewDetector(fab, fab.Node(1), cfg)
+	suspectedAt := sim.Time(-1)
+	d1.OnSuspect = func(peer rdma.NodeID) {
+		if peer == 0 && suspectedAt < 0 {
+			suspectedAt = eng.Now()
+		}
+	}
+	failAt := sim.Time(500 * sim.Microsecond)
+	eng.At(failAt, func() { b0.Suspend() })
+	eng.RunUntil(sim.Time(2 * sim.Millisecond))
+	if suspectedAt < 0 {
+		t.Fatal("suspended node never suspected")
+	}
+	if suspectedAt < failAt {
+		t.Fatalf("suspected at %d, before the failure at %d", suspectedAt, failAt)
+	}
+	if !d1.Suspected(0) {
+		t.Fatal("Suspected(0) = false after suspicion")
+	}
+	if d1.Suspected(2) {
+		t.Fatal("healthy node 2 suspected")
+	}
+}
+
+func TestRestoreAfterResume(t *testing.T) {
+	eng, fab := setup(2)
+	cfg := DefaultConfig()
+	b0 := NewBeater(eng, fab.Node(0), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(1), cfg.BeatPeriod)
+	d1 := NewDetector(fab, fab.Node(1), cfg)
+	restored := false
+	d1.OnRestore = func(peer rdma.NodeID) { restored = peer == 0 }
+	eng.At(sim.Time(200*sim.Microsecond), func() { b0.Suspend() })
+	eng.At(sim.Time(1*sim.Millisecond), func() { b0.Resume() })
+	eng.RunUntil(sim.Time(2 * sim.Millisecond))
+	if !restored {
+		t.Fatal("resumed node never restored")
+	}
+	if d1.Suspected(0) {
+		t.Fatal("node still suspected after restore")
+	}
+}
+
+func TestCrashedNodeIsSuspected(t *testing.T) {
+	eng, fab := setup(2)
+	cfg := DefaultConfig()
+	NewBeater(eng, fab.Node(0), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(1), cfg.BeatPeriod)
+	d1 := NewDetector(fab, fab.Node(1), cfg)
+	suspected := false
+	d1.OnSuspect = func(peer rdma.NodeID) { suspected = suspected || peer == 0 }
+	eng.At(sim.Time(300*sim.Microsecond), func() { fab.Node(0).Crash() })
+	eng.RunUntil(sim.Time(3 * sim.Millisecond))
+	if !suspected {
+		t.Fatal("crashed node never suspected")
+	}
+}
+
+func TestNodeSuspendStopsBeating(t *testing.T) {
+	// Suspending the whole node (not just the beater) must also stop
+	// heartbeats: the beat callback checks the node state.
+	eng, fab := setup(2)
+	cfg := DefaultConfig()
+	NewBeater(eng, fab.Node(0), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(1), cfg.BeatPeriod)
+	d1 := NewDetector(fab, fab.Node(1), cfg)
+	suspected := false
+	d1.OnSuspect = func(peer rdma.NodeID) { suspected = suspected || peer == 0 }
+	eng.At(sim.Time(300*sim.Microsecond), func() { fab.Node(0).Suspend() })
+	eng.RunUntil(sim.Time(2 * sim.Millisecond))
+	if !suspected {
+		t.Fatal("suspended node never suspected")
+	}
+}

@@ -1,0 +1,149 @@
+package msgnet
+
+import (
+	"testing"
+
+	"hamband/internal/sim"
+)
+
+func testNet(n int) (*sim.Engine, *Network) {
+	eng := sim.NewEngine(3)
+	return eng, New(eng, n, DefaultCost())
+}
+
+func TestSendDelivers(t *testing.T) {
+	eng, nw := testNet(2)
+	var gotFrom NodeID = -1
+	var gotPayload string
+	nw.Node(1).Handle(func(from NodeID, p []byte) {
+		gotFrom = from
+		gotPayload = string(p)
+	})
+	eng.At(0, func() { nw.Node(0).Send(1, []byte("ping"), nil) })
+	eng.Run()
+	if gotFrom != 0 || gotPayload != "ping" {
+		t.Fatalf("delivered (%d, %q), want (0, ping)", gotFrom, gotPayload)
+	}
+}
+
+func TestSendChargesBothCPUs(t *testing.T) {
+	eng, nw := testNet(2)
+	nw.Node(1).Handle(func(NodeID, []byte) {})
+	eng.At(0, func() { nw.Node(0).Send(1, []byte("x"), nil) })
+	eng.Run()
+	if nw.Node(0).CPU.BusyTotal() < DefaultCost().SendCost {
+		t.Fatalf("sender CPU busy %v, want >= send cost", nw.Node(0).CPU.BusyTotal())
+	}
+	if nw.Node(1).CPU.BusyTotal() < DefaultCost().RecvCost {
+		t.Fatalf("receiver CPU busy %v, want >= recv cost", nw.Node(1).CPU.BusyTotal())
+	}
+}
+
+func TestFIFOPerSender(t *testing.T) {
+	eng, nw := testNet(2)
+	var got []byte
+	nw.Node(1).Handle(func(_ NodeID, p []byte) { got = append(got, p[0]) })
+	eng.At(0, func() {
+		for i := byte(0); i < 10; i++ {
+			nw.Node(0).Send(1, []byte{i}, nil)
+		}
+	})
+	eng.Run()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d messages, want 10", len(got))
+	}
+	for i, b := range got {
+		if b != byte(i) {
+			t.Fatalf("out of order delivery: %v", got)
+		}
+	}
+}
+
+func TestPayloadCopiedAtSend(t *testing.T) {
+	eng, nw := testNet(2)
+	var got string
+	nw.Node(1).Handle(func(_ NodeID, p []byte) { got = string(p) })
+	buf := []byte("aa")
+	eng.At(0, func() {
+		nw.Node(0).Send(1, buf, nil)
+		copy(buf, "zz")
+	})
+	eng.Run()
+	if got != "aa" {
+		t.Fatalf("payload = %q, want value at send time", got)
+	}
+}
+
+func TestFailedNodeDropsMessages(t *testing.T) {
+	eng, nw := testNet(2)
+	delivered := false
+	nw.Node(1).Handle(func(NodeID, []byte) { delivered = true })
+	nw.Node(1).Fail()
+	eng.At(0, func() { nw.Node(0).Send(1, []byte("x"), nil) })
+	eng.Run()
+	if delivered {
+		t.Fatal("failed node received a message")
+	}
+	if nw.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", nw.Stats().Dropped)
+	}
+}
+
+func TestFailedSenderSendsNothing(t *testing.T) {
+	eng, nw := testNet(2)
+	delivered := false
+	nw.Node(1).Handle(func(NodeID, []byte) { delivered = true })
+	nw.Node(0).Fail()
+	eng.At(0, func() { nw.Node(0).Send(1, []byte("x"), nil) })
+	eng.Run()
+	if delivered {
+		t.Fatal("failed sender's message was delivered")
+	}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	eng, nw := testNet(4)
+	got := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		nw.Node(NodeID(i)).Handle(func(NodeID, []byte) { got[i]++ })
+	}
+	sent := false
+	eng.At(0, func() { nw.Node(2).Broadcast([]byte("b"), func() { sent = true }) })
+	eng.Run()
+	if !sent {
+		t.Fatal("broadcast onSent never fired")
+	}
+	for i, n := range got {
+		want := 1
+		if i == 2 {
+			want = 0
+		}
+		if n != want {
+			t.Fatalf("node %d received %d, want %d", i, n, want)
+		}
+	}
+}
+
+func TestBroadcastSingleNode(t *testing.T) {
+	eng, nw := testNet(1)
+	sent := false
+	eng.At(0, func() { nw.Node(0).Broadcast([]byte("b"), func() { sent = true }) })
+	eng.Run()
+	if !sent {
+		t.Fatal("single-node broadcast should complete immediately")
+	}
+}
+
+func TestMessageSlowerThanRDMA(t *testing.T) {
+	// Structural sanity: one message costs more end-to-end time than the
+	// modeled one-sided write latency. This is the premise of the paper.
+	eng, nw := testNet(2)
+	var deliveredAt sim.Time
+	nw.Node(1).Handle(func(NodeID, []byte) { deliveredAt = eng.Now() })
+	eng.At(0, func() { nw.Node(0).Send(1, []byte("x"), nil) })
+	eng.Run()
+	if deliveredAt < 10_000 { // 10 µs
+		t.Fatalf("message delivered after %d ns; model should exceed 10 µs", deliveredAt)
+	}
+}

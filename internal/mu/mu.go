@@ -1,0 +1,1073 @@
+// Package mu implements a Mu-style consensus instance over the simulated
+// RDMA fabric (Aguilera et al., OSDI '20) — the protocol Hamband
+// instantiates once per synchronization group to order conflicting calls
+// (§4 "Synchronization"), and the SMR baseline of the evaluation.
+//
+// Common case: a designated leader holds exclusive write permission on a
+// log ring at every replica. Ordering a call is one local journal write
+// plus one one-sided RDMA write per follower; the leader considers an entry
+// decided once a majority of writes (counting itself) completed. Followers
+// poll their log rings and deliver entries in sequence order.
+//
+// Failure case: when the failure detector suspects the leader, the next
+// node requests leadership under a higher term. Every replica that accepts
+// the request revokes the old leader's write permission on its log ring
+// before granting it to the candidate — permissions guarantee at most one
+// writer per ring — and replies with a grant carrying its delivery
+// watermark. With a majority of grants the candidate recovers undelivered
+// entries from the old leader's journal (readable one-sidedly under the
+// paper's suspension failure model), re-disseminates them, and serves new
+// requests. Deliveries are deduplicated by (origin, submission sequence),
+// so recovery plus resubmission yields exactly-once delivery.
+package mu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hamband/internal/codec"
+	"hamband/internal/rdma"
+	"hamband/internal/ring"
+	"hamband/internal/sim"
+)
+
+// Region name builders; all are per consensus group.
+func logRegion(g string) string                   { return "mu-log-" + g }
+func reqRegion(g string, from rdma.NodeID) string { return fmt.Sprintf("mu-req-%s-%d", g, from) }
+func voteRegion(g string, from rdma.NodeID) string {
+	return fmt.Sprintf("mu-vote-%s-%d", g, from)
+}
+func grantRegion(g string, from rdma.NodeID) string {
+	return fmt.Sprintf("mu-grant-%s-%d", g, from)
+}
+func journalRegion(g string) string { return "mu-journal-" + g }
+func stateRegion(g string) string   { return "mu-state-" + g }
+
+// Config holds consensus parameters.
+type Config struct {
+	RingCapacity    int          // log and request ring capacity
+	CtrlCapacity    int          // vote/grant ring capacity
+	JournalSlots    int          // journal length (entries)
+	JournalSlotSize int          // bytes per journal slot
+	PollPeriod      sim.Duration // poll loop period
+	PollCost        sim.Duration // CPU cost per poll sweep
+	DeliverCost     sim.Duration // CPU cost per delivered entry
+	RetryDelay      sim.Duration // backpressure retry delay
+	CatchUpAfter    sim.Duration // follower staleness before a journal catch-up
+}
+
+// DefaultConfig returns sizes suited to the benchmark workloads.
+func DefaultConfig() Config {
+	return Config{
+		RingCapacity:    1 << 16,
+		CtrlCapacity:    1 << 12,
+		JournalSlots:    1024,
+		JournalSlotSize: 256,
+		PollPeriod:      2 * sim.Microsecond,
+		PollCost:        50 * sim.Nanosecond,
+		DeliverCost:     100 * sim.Nanosecond,
+		RetryDelay:      5 * sim.Microsecond,
+		CatchUpAfter:    100 * sim.Microsecond,
+	}
+}
+
+// Setup registers the consensus regions for group on every node and grants
+// the initial leader write permission on all log rings. Call once per group
+// before creating instances.
+func Setup(fab *rdma.Fabric, group string, cfg Config, initialLeader rdma.NodeID) {
+	for i := 0; i < fab.Size(); i++ {
+		node := fab.Node(rdma.NodeID(i))
+		lr := node.Register(logRegion(group), ring.RegionSize(cfg.RingCapacity))
+		lr.AllowWrite(initialLeader)
+		node.Register(journalRegion(group), cfg.JournalSlots*cfg.JournalSlotSize)
+		node.Register(stateRegion(group), 16)
+		for p := 0; p < fab.Size(); p++ {
+			peer := rdma.NodeID(p)
+			if peer == node.ID() {
+				continue
+			}
+			node.Register(reqRegion(group, peer), ring.RegionSize(cfg.RingCapacity)).AllowWrite(peer)
+			node.Register(voteRegion(group, peer), ring.RegionSize(cfg.CtrlCapacity)).AllowWrite(peer)
+			node.Register(grantRegion(group, peer), ring.RegionSize(cfg.CtrlCapacity)).AllowWrite(peer)
+		}
+	}
+}
+
+// DeliverFunc consumes decided entries, in sequence order, exactly once.
+type DeliverFunc func(seq uint64, origin rdma.NodeID, payload []byte)
+
+// outChan is a single-writer remote ring with a local queue and
+// backpressure handling.
+type outChan struct {
+	peer    rdma.NodeID
+	region  string
+	qp      *rdma.QP
+	w       *ring.Writer
+	queue   []outItem
+	reading bool
+}
+
+type outItem struct {
+	record []byte
+	onDone func(err error)
+}
+
+// Instance is one node's participant in a consensus group.
+type Instance struct {
+	fab   *rdma.Fabric
+	node  *rdma.Node
+	group string
+	cfg   Config
+	n     int
+
+	// Role state.
+	term     uint64
+	votedFor rdma.NodeID // candidate granted in the current term (-1: none)
+	leader   rdma.NodeID
+	isLeader bool
+	electing bool
+	// recovering is set between winning an election and finishing journal
+	// recovery; proposals are held until it clears so recovered entries
+	// keep their original sequence numbers.
+	recovering bool
+
+	// Leader state.
+	nextSeq   uint64 // next sequence number to assign (1-based)
+	logOut    map[rdma.NodeID]*outChan
+	acks      map[uint64]int    // seq → completed writes (incl. self)
+	decided   map[uint64]bool   // seq → majority reached
+	entries   map[uint64][]byte // seq → full entry record (until delivered)
+	grants    map[rdma.NodeID]uint64
+	oldLeader rdma.NodeID
+
+	// Delivery state (all roles).
+	lastDelivered  uint64
+	stash          map[uint64][]byte // out-of-order, not-yet-committed log entries
+	commitSeen     uint64            // highest commit watermark received
+	ringTerm       uint64            // highest term seen in the log ring
+	catching       bool              // journal catch-up read in flight
+	lastProgressAt sim.Time          // when delivery last advanced (or was verified current)
+	dedupLow       map[rdma.NodeID]uint64
+	dedupSet       map[rdma.NodeID]map[uint64]bool
+
+	// Submission state.
+	submitSeq uint64
+	pending   map[uint64][]byte // my submissions not yet delivered
+	reqOut    map[rdma.NodeID]*outChan
+	voteOut   map[rdma.NodeID]*outChan
+	grantOut  map[rdma.NodeID]*outChan
+
+	// Readers.
+	logReader   *ring.Reader
+	reqReaders  map[rdma.NodeID]*ring.Reader
+	voteReaders map[rdma.NodeID]*ring.Reader
+	grantReader map[rdma.NodeID]*ring.Reader
+
+	ticker *sim.Ticker
+
+	// Deliver is invoked, on this node's CPU, for every decided entry in
+	// sequence order.
+	Deliver DeliverFunc
+	// Transform, if set, is applied by the leader to every request payload
+	// immediately before sequencing it (for both local submissions and
+	// redirected requests). Hamband uses it to check permissibility and
+	// attach the dependency record at the ordering point, as rule CONF
+	// prescribes.
+	Transform func(origin rdma.NodeID, payload []byte) []byte
+	// OnLeaderChange is invoked when this node adopts a new leader view.
+	OnLeaderChange func(leader rdma.NodeID, term uint64)
+}
+
+// NewInstance creates this node's participant for group. Setup must have
+// run with the same initialLeader.
+func NewInstance(fab *rdma.Fabric, node *rdma.Node, group string, cfg Config, initialLeader rdma.NodeID) *Instance {
+	in := &Instance{
+		fab:       fab,
+		node:      node,
+		group:     group,
+		cfg:       cfg,
+		n:         fab.Size(),
+		leader:    initialLeader,
+		votedFor:  -1,
+		isLeader:  node.ID() == initialLeader,
+		nextSeq:   1,
+		oldLeader: initialLeader,
+
+		logOut:   make(map[rdma.NodeID]*outChan),
+		acks:     make(map[uint64]int),
+		decided:  make(map[uint64]bool),
+		entries:  make(map[uint64][]byte),
+		stash:    make(map[uint64][]byte),
+		dedupLow: make(map[rdma.NodeID]uint64),
+		dedupSet: make(map[rdma.NodeID]map[uint64]bool),
+		pending:  make(map[uint64][]byte),
+
+		reqOut:   make(map[rdma.NodeID]*outChan),
+		voteOut:  make(map[rdma.NodeID]*outChan),
+		grantOut: make(map[rdma.NodeID]*outChan),
+
+		reqReaders:  make(map[rdma.NodeID]*ring.Reader),
+		voteReaders: make(map[rdma.NodeID]*ring.Reader),
+		grantReader: make(map[rdma.NodeID]*ring.Reader),
+	}
+	in.logReader = ring.NewReader(node.Region(logRegion(group)).Bytes())
+	for p := 0; p < in.n; p++ {
+		peer := rdma.NodeID(p)
+		if peer == node.ID() {
+			continue
+		}
+		in.logOut[peer] = in.newOut(peer, logRegion(group), cfg.RingCapacity)
+		in.reqOut[peer] = in.newOut(peer, reqRegion(group, node.ID()), cfg.RingCapacity)
+		in.voteOut[peer] = in.newOut(peer, voteRegion(group, node.ID()), cfg.CtrlCapacity)
+		in.grantOut[peer] = in.newOut(peer, grantRegion(group, node.ID()), cfg.CtrlCapacity)
+		in.reqReaders[peer] = ring.NewReader(node.Region(reqRegion(group, peer)).Bytes())
+		in.voteReaders[peer] = ring.NewReader(node.Region(voteRegion(group, peer)).Bytes())
+		in.grantReader[peer] = ring.NewReader(node.Region(grantRegion(group, peer)).Bytes())
+		in.dedupSet[peer] = make(map[uint64]bool)
+	}
+	in.dedupSet[node.ID()] = make(map[uint64]bool)
+	in.ticker = fab.Engine().NewTicker(cfg.PollPeriod, in.poll)
+	return in
+}
+
+// Stop cancels the instance's poll loop.
+func (in *Instance) Stop() { in.ticker.Cancel() }
+
+// Leader returns this node's current leader view.
+func (in *Instance) Leader() rdma.NodeID { return in.leader }
+
+// IsLeader reports whether this node believes it leads the group.
+func (in *Instance) IsLeader() bool { return in.isLeader }
+
+// Term returns the current term.
+func (in *Instance) Term() uint64 { return in.term }
+
+// LastDelivered returns the highest contiguously delivered sequence number.
+func (in *Instance) LastDelivered() uint64 { return in.lastDelivered }
+
+// Electing reports whether this node is mid-candidacy (diagnostics).
+func (in *Instance) Electing() bool { return in.electing }
+
+// Recovering reports whether a fresh leader is still rebuilding state
+// (diagnostics).
+func (in *Instance) Recovering() bool { return in.recovering }
+
+// PendingCount reports this node's submissions not yet delivered
+// (diagnostics).
+func (in *Instance) PendingCount() int { return len(in.pending) }
+
+func (in *Instance) newOut(peer rdma.NodeID, region string, capacity int) *outChan {
+	return &outChan{
+		peer:   peer,
+		region: region,
+		qp:     in.node.QP(peer),
+		w:      ring.NewWriter(capacity),
+	}
+}
+
+func (in *Instance) majority() int { return in.n/2 + 1 }
+
+func (in *Instance) alive() bool { return !in.node.Suspended() && !in.node.Crashed() }
+
+// --- wire formats -----------------------------------------------------
+
+// entry: u64 seq | u64 term | u64 commit | u16 origin | u64 submitSeq | payload.
+// term is the proposing leader's term: receivers drop entries from terms
+// older than the highest they have seen, which silences a deposed "zombie"
+// leader that has not yet learned of its deposition. commit is the
+// proposer's decided watermark: receivers deliver an entry only once some
+// record shows it committed, so a zombie's never-decided proposals are
+// never applied. A seq of zero marks a pure commit record (no payload).
+func encodeEntry(seq, term, commit uint64, origin rdma.NodeID, submitSeq uint64, payload []byte) []byte {
+	b := make([]byte, 34+len(payload))
+	binary.LittleEndian.PutUint64(b, seq)
+	binary.LittleEndian.PutUint64(b[8:], term)
+	binary.LittleEndian.PutUint64(b[16:], commit)
+	binary.LittleEndian.PutUint16(b[24:], uint16(origin))
+	binary.LittleEndian.PutUint64(b[26:], submitSeq)
+	copy(b[34:], payload)
+	return b
+}
+
+type logEntry struct {
+	seq, term, commit uint64
+	origin            rdma.NodeID
+	submitSeq         uint64
+	payload           []byte
+}
+
+func decodeLogEntry(b []byte) (logEntry, error) {
+	if len(b) < 34 {
+		return logEntry{}, codec.ErrCorrupt
+	}
+	return logEntry{
+		seq:       binary.LittleEndian.Uint64(b),
+		term:      binary.LittleEndian.Uint64(b[8:]),
+		commit:    binary.LittleEndian.Uint64(b[16:]),
+		origin:    rdma.NodeID(binary.LittleEndian.Uint16(b[24:])),
+		submitSeq: binary.LittleEndian.Uint64(b[26:]),
+		payload:   b[34:],
+	}, nil
+}
+
+// request: u64 submitSeq | payload
+func encodeReq(submitSeq uint64, payload []byte) []byte {
+	b := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint64(b, submitSeq)
+	copy(b[8:], payload)
+	return b
+}
+
+// vote: u64 term | u16 candidate
+func encodeVote(term uint64, cand rdma.NodeID) []byte {
+	b := make([]byte, 10)
+	binary.LittleEndian.PutUint64(b, term)
+	binary.LittleEndian.PutUint16(b[8:], uint16(cand))
+	return b
+}
+
+// grant: u64 term | u64 lastDelivered | u16 voter
+func encodeGrant(term, lastDelivered uint64, voter rdma.NodeID) []byte {
+	b := make([]byte, 18)
+	binary.LittleEndian.PutUint64(b, term)
+	binary.LittleEndian.PutUint64(b[8:], lastDelivered)
+	binary.LittleEndian.PutUint16(b[16:], uint16(voter))
+	return b
+}
+
+// --- output pumping ---------------------------------------------------
+
+// send enqueues a raw payload as a framed record on an out channel.
+func (in *Instance) send(oc *outChan, payload []byte, onDone func(error)) {
+	rec, err := codec.EncodeRaw(payload)
+	if err != nil {
+		if onDone != nil {
+			onDone(err)
+		}
+		return
+	}
+	oc.queue = append(oc.queue, outItem{record: rec, onDone: onDone})
+	in.pump(oc)
+}
+
+func (in *Instance) pump(oc *outChan) {
+	if in.node.Crashed() {
+		return
+	}
+	for len(oc.queue) > 0 {
+		item := oc.queue[0]
+		writes, ok := oc.w.Append(item.record)
+		if !ok {
+			in.refreshHead(oc)
+			return
+		}
+		oc.queue = oc.queue[1:]
+		last := len(writes) - 1
+		for i, wr := range writes {
+			var cb func(error)
+			if i == last && item.onDone != nil {
+				cb = item.onDone
+			}
+			oc.qp.Write(oc.region, wr.Off, wr.Data, cb)
+		}
+	}
+}
+
+func (in *Instance) refreshHead(oc *outChan) {
+	if oc.reading {
+		return
+	}
+	oc.reading = true
+	oc.qp.Read(oc.region, 0, ring.HeaderSize, func(data []byte, err error) {
+		oc.reading = false
+		if err != nil {
+			for _, item := range oc.queue {
+				if item.onDone != nil {
+					item.onDone(err)
+				}
+			}
+			oc.queue = nil
+			return
+		}
+		before := oc.w.Free()
+		oc.w.NoteHead(ring.DecodeHead(data))
+		if oc.w.Free() == before && len(oc.queue) > 0 {
+			in.fab.Engine().After(in.cfg.RetryDelay, func() {
+				if len(oc.queue) > 0 {
+					in.refreshHead(oc)
+				}
+			})
+			return
+		}
+		in.pump(oc)
+	})
+}
+
+// --- submission -------------------------------------------------------
+
+// Submit hands a payload to the group for total ordering. The payload will
+// be delivered, exactly once and in order, through Deliver on every node.
+// Submissions survive leader changes via resubmission.
+func (in *Instance) Submit(payload []byte) {
+	in.submitSeq++
+	buf := append([]byte(nil), payload...)
+	in.pending[in.submitSeq] = buf
+	in.route(in.submitSeq, buf)
+}
+
+func (in *Instance) route(submitSeq uint64, payload []byte) {
+	if in.isLeader {
+		if in.recovering {
+			return // held in pending; resubmitted after recovery
+		}
+		in.propose(in.node.ID(), submitSeq, payload)
+		return
+	}
+	oc := in.reqOut[in.leader]
+	if oc == nil {
+		return // leader view is self but not leader yet; retried on change
+	}
+	in.send(oc, encodeReq(submitSeq, payload), nil)
+}
+
+// propose assigns the next sequence number and disseminates the entry.
+func (in *Instance) propose(origin rdma.NodeID, submitSeq uint64, payload []byte) {
+	if in.Transform != nil {
+		payload = in.Transform(origin, payload)
+	}
+	seq := in.nextSeq
+	in.nextSeq++
+	entry := encodeEntry(seq, in.term, in.lastDelivered, origin, submitSeq, payload)
+	in.journal(seq, entry)
+	in.entries[seq] = entry
+	in.acks[seq] = 1 // self
+	if in.acks[seq] >= in.majority() {
+		in.decide(seq)
+	}
+	for p := 0; p < in.n; p++ {
+		oc := in.logOut[rdma.NodeID(p)]
+		if oc == nil {
+			continue
+		}
+		seq := seq
+		in.send(oc, entry, func(err error) { in.acked(seq, err) })
+	}
+}
+
+func (in *Instance) acked(seq uint64, err error) {
+	// Only successful writes count: a deposed leader's writes fail with
+	// permission errors at every voter, so it can never assemble a
+	// majority and never decides its zombie proposals.
+	if !in.isLeader || err != nil {
+		return
+	}
+	in.acks[seq]++
+	if !in.decided[seq] && in.acks[seq] >= in.majority() {
+		in.decide(seq)
+	}
+}
+
+// decide marks seq decided and delivers contiguous decided entries locally.
+// When no further proposal is in flight to piggyback the new commit
+// watermark, a dedicated commit record carries it to the followers.
+func (in *Instance) decide(seq uint64) {
+	in.decided[seq] = true
+	advanced := false
+	for in.decided[in.lastDelivered+1] {
+		next := in.lastDelivered + 1
+		entry := in.entries[next]
+		delete(in.entries, next)
+		delete(in.decided, next)
+		delete(in.acks, next)
+		in.bumpDelivered(next)
+		advanced = true
+		in.deliverEntry(entry)
+	}
+	if advanced && in.lastDelivered+1 >= in.nextSeq {
+		in.sendCommitRecord()
+	}
+}
+
+// sendCommitRecord broadcasts a payload-less record carrying the current
+// commit watermark (seq 0 marks it as pure metadata).
+func (in *Instance) sendCommitRecord() {
+	rec := encodeEntry(0, in.term, in.lastDelivered, in.node.ID(), 0, nil)
+	for p := 0; p < in.n; p++ {
+		oc := in.logOut[rdma.NodeID(p)]
+		if oc == nil {
+			continue
+		}
+		in.send(oc, rec, nil)
+	}
+}
+
+// bumpDelivered advances the delivery watermark and publishes it in the
+// state region so that a future leader can compute the global recovery
+// floor with one-sided reads.
+func (in *Instance) bumpDelivered(to uint64) {
+	in.lastDelivered = to
+	in.lastProgressAt = in.fab.Engine().Now()
+	binary.LittleEndian.PutUint64(in.node.Region(stateRegion(in.group)).Bytes()[8:], to)
+}
+
+// journal stores an entry in the local journal region and advances the
+// published nextSeq.
+func (in *Instance) journal(seq uint64, entry []byte) {
+	slot := int(seq) % in.cfg.JournalSlots
+	framed, err := codec.EncodeSlot(entry, uint32(seq), in.cfg.JournalSlotSize)
+	if err != nil {
+		panic(fmt.Sprintf("mu: journal slot too small: %v", err))
+	}
+	copy(in.node.Region(journalRegion(in.group)).Bytes()[slot*in.cfg.JournalSlotSize:], framed)
+	binary.LittleEndian.PutUint64(in.node.Region(stateRegion(in.group)).Bytes(), in.nextSeq)
+}
+
+// deliverEntry dedups by (origin, submitSeq) and invokes Deliver.
+func (in *Instance) deliverEntry(entry []byte) {
+	e, err := decodeLogEntry(entry)
+	if err != nil {
+		return
+	}
+	if e.origin == in.node.ID() {
+		delete(in.pending, e.submitSeq)
+	}
+	if e.submitSeq <= in.dedupLow[e.origin] || in.dedupSet[e.origin][e.submitSeq] {
+		return
+	}
+	set := in.dedupSet[e.origin]
+	if set == nil {
+		set = make(map[uint64]bool)
+		in.dedupSet[e.origin] = set
+	}
+	set[e.submitSeq] = true
+	for set[in.dedupLow[e.origin]+1] {
+		in.dedupLow[e.origin]++
+		delete(set, in.dedupLow[e.origin])
+	}
+	if in.Deliver != nil {
+		buf := append([]byte(nil), e.payload...)
+		seq, origin := e.seq, e.origin
+		in.node.CPU.Exec(in.cfg.DeliverCost, func() { in.Deliver(seq, origin, buf) })
+	}
+}
+
+// --- polling ----------------------------------------------------------
+
+func (in *Instance) poll() {
+	if !in.alive() {
+		return
+	}
+	in.node.CPU.Exec(in.cfg.PollCost, func() {
+		in.pollLog()
+		if in.isLeader && !in.recovering {
+			in.pollRequests()
+		}
+		in.pollVotes()
+		if in.electing {
+			in.pollGrants()
+		}
+		// Anti-entropy with the leader: a stash gap, or simply no delivery
+		// progress for a while, means entries may have been lost to a
+		// permission window or a ring reset — pull them from the leader's
+		// journal. (An idle but current follower pays one 8-byte read per
+		// staleness window.)
+		if !in.isLeader {
+			_, gapped := in.stash[in.lastDelivered+1]
+			stale := in.fab.Engine().Now()-in.lastProgressAt > sim.Time(in.cfg.CatchUpAfter)
+			if (len(in.stash) > 0 && !gapped) || stale {
+				in.catchUp(in.leader)
+			}
+		}
+	})
+}
+
+func (in *Instance) pollLog() {
+	for {
+		rec, ok, err := in.logReader.Poll()
+		if err != nil || !ok {
+			return
+		}
+		msg, _, err := codec.DecodeRaw(rec)
+		if err != nil {
+			return
+		}
+		e, derr := decodeLogEntry(msg)
+		if derr != nil {
+			continue
+		}
+		// Zombie filter: drop anything from a term older than the highest
+		// this ring has carried.
+		if e.term < in.ringTerm {
+			continue
+		}
+		if e.term > in.ringTerm {
+			in.ringTerm = e.term
+			// A newer term invalidates stashed uncommitted entries from
+			// older terms.
+			for seq, old := range in.stash {
+				if oe, oerr := decodeLogEntry(old); oerr == nil && oe.term < e.term {
+					delete(in.stash, seq)
+				}
+			}
+		}
+		if e.commit > in.commitSeen {
+			in.commitSeen = e.commit
+		}
+		if e.seq == 0 {
+			// Pure commit record.
+			in.drainCommitted()
+			continue
+		}
+		if e.seq > in.lastDelivered {
+			in.stash[e.seq] = append([]byte(nil), msg...)
+		}
+		in.drainCommitted()
+	}
+}
+
+// drainCommitted delivers stashed entries in sequence order up to the
+// received commit watermark.
+func (in *Instance) drainCommitted() {
+	for in.lastDelivered < in.commitSeen {
+		next, ok := in.stash[in.lastDelivered+1]
+		if !ok {
+			return
+		}
+		delete(in.stash, in.lastDelivered+1)
+		in.bumpDelivered(in.lastDelivered + 1)
+		in.deliverEntry(next)
+	}
+}
+
+func (in *Instance) pollRequests() {
+	for p := 0; p < in.n; p++ {
+		from := rdma.NodeID(p)
+		rd := in.reqReaders[from]
+		if rd == nil {
+			continue
+		}
+		for {
+			rec, ok, err := rd.Poll()
+			if err != nil || !ok {
+				break
+			}
+			msg, _, err := codec.DecodeRaw(rec)
+			if err != nil || len(msg) < 8 {
+				break
+			}
+			submitSeq := binary.LittleEndian.Uint64(msg)
+			// Requests may be replayed after a leader change; dedup before
+			// proposing to keep the log free of duplicates where possible
+			// (delivery-side dedup is the safety net).
+			if submitSeq <= in.dedupLow[from] || in.dedupSet[from][submitSeq] {
+				continue
+			}
+			in.propose(from, submitSeq, append([]byte(nil), msg[8:]...))
+		}
+	}
+}
+
+// --- leader change ----------------------------------------------------
+
+// StartElection makes this node request leadership of the group under a
+// higher term. Wire it to the failure detector's suspicion of the current
+// leader.
+func (in *Instance) StartElection() {
+	if in.isLeader || in.electing || !in.alive() {
+		return
+	}
+	in.electing = true
+	in.oldLeader = in.leader
+	in.term++
+	in.votedFor = in.node.ID() // self-vote
+	in.grants = map[rdma.NodeID]uint64{in.node.ID(): in.lastDelivered}
+	// Self-vote: take write permission on the local log ring.
+	in.switchLogPermission(in.node.ID())
+	for peer, oc := range in.voteOut {
+		_ = peer
+		in.send(oc, encodeVote(in.term, in.node.ID()), nil)
+	}
+	in.maybeLead()
+}
+
+func (in *Instance) switchLogPermission(to rdma.NodeID) {
+	region := in.node.Region(logRegion(in.group))
+	for p := 0; p < in.n; p++ {
+		region.RevokeWrite(rdma.NodeID(p))
+	}
+	region.AllowWrite(to)
+}
+
+func (in *Instance) pollVotes() {
+	for p := 0; p < in.n; p++ {
+		rd := in.voteReaders[rdma.NodeID(p)]
+		if rd == nil {
+			continue
+		}
+		for {
+			rec, ok, err := rd.Poll()
+			if err != nil || !ok {
+				break
+			}
+			msg, _, err := codec.DecodeRaw(rec)
+			if err != nil || len(msg) < 10 {
+				break
+			}
+			term := binary.LittleEndian.Uint64(msg)
+			cand := rdma.NodeID(binary.LittleEndian.Uint16(msg[8:]))
+			in.handleVote(term, cand)
+		}
+	}
+}
+
+func (in *Instance) handleVote(term uint64, cand rdma.NodeID) {
+	switch {
+	case term > in.term:
+		// Newer term: adopt it and grant.
+	case term == in.term && in.electing && cand < in.node.ID():
+		// Tie between simultaneous candidates: the lower id wins
+		// deterministically, so competing elections cannot deadlock.
+	default:
+		return // stale candidacy, or already voted this term
+	}
+	in.term = term
+	in.votedFor = cand
+	in.isLeader = false
+	in.electing = false
+	in.leader = cand
+	// Revoke the previous leader's permission before granting the next —
+	// the order the paper prescribes.
+	in.switchLogPermission(cand)
+	if oc := in.grantOut[cand]; oc != nil {
+		in.send(oc, encodeGrant(term, in.lastDelivered, in.node.ID()), nil)
+	}
+	if in.OnLeaderChange != nil {
+		in.OnLeaderChange(cand, term)
+	}
+	in.resubmitPending()
+	// A voter that was suspended through the election may have missed log
+	// writes entirely (they were rejected by its old permissions): pull
+	// the gap from the new leader's journal.
+	in.catchUp(cand)
+}
+
+// catchUp reads the leader's published nextSeq and journal with one-sided
+// reads and fills any delivery gap [lastDelivered+1, nextSeq). It runs when
+// a node adopts a new leader and whenever the poll loop observes a stash
+// gap (entries lost to a permission window or a wiped ring).
+func (in *Instance) catchUp(from rdma.NodeID) {
+	if in.catching || in.isLeader || from == in.node.ID() || !in.alive() {
+		return
+	}
+	in.catching = true
+	in.node.QP(from).Read(stateRegion(in.group), 0, 16, func(data []byte, err error) {
+		if err != nil {
+			in.catching = false
+			return
+		}
+		// Deliver only what the leader itself has decided: its published
+		// lastDelivered is its commit watermark (the journal also holds
+		// proposed-but-undecided entries).
+		next := binary.LittleEndian.Uint64(data[8:]) + 1
+		if n := binary.LittleEndian.Uint64(data); n < next {
+			next = n
+		}
+		if next <= in.lastDelivered+1 {
+			in.catching = false
+			in.lastProgressAt = in.fab.Engine().Now() // verified current
+			return
+		}
+		size := in.cfg.JournalSlots * in.cfg.JournalSlotSize
+		in.node.QP(from).Read(journalRegion(in.group), 0, size, func(jdata []byte, jerr error) {
+			in.catching = false
+			if jerr != nil {
+				return
+			}
+			for seq := in.lastDelivered + 1; seq < next; seq++ {
+				slot := int(seq) % in.cfg.JournalSlots
+				framed := jdata[slot*in.cfg.JournalSlotSize : (slot+1)*in.cfg.JournalSlotSize]
+				entry, _, derr := codec.DecodeSlot(framed)
+				if derr != nil {
+					return // hole (journal wrapped or write in flight): stop
+				}
+				je, derr := decodeLogEntry(entry)
+				if derr != nil || je.seq != seq {
+					return
+				}
+				if je.seq-1 > in.commitSeen {
+					in.commitSeen = je.seq - 1
+				}
+				in.bumpDelivered(seq)
+				delete(in.stash, seq)
+				in.deliverEntry(append([]byte(nil), entry...))
+			}
+			// Drain any stashed successors the catch-up unblocked.
+			in.drainCommitted()
+		})
+	})
+}
+
+func (in *Instance) pollGrants() {
+	for p := 0; p < in.n; p++ {
+		rd := in.grantReader[rdma.NodeID(p)]
+		if rd == nil {
+			continue
+		}
+		for {
+			rec, ok, err := rd.Poll()
+			if err != nil || !ok {
+				break
+			}
+			msg, _, err := codec.DecodeRaw(rec)
+			if err != nil || len(msg) < 18 {
+				break
+			}
+			term := binary.LittleEndian.Uint64(msg)
+			lastDelivered := binary.LittleEndian.Uint64(msg[8:])
+			voter := rdma.NodeID(binary.LittleEndian.Uint16(msg[16:]))
+			if term != in.term || !in.electing {
+				continue
+			}
+			in.grants[voter] = lastDelivered
+			in.maybeLead()
+		}
+	}
+}
+
+func (in *Instance) maybeLead() {
+	if !in.electing || len(in.grants) < in.majority() {
+		return
+	}
+	in.electing = false
+	in.isLeader = true
+	in.recovering = true
+	in.leader = in.node.ID()
+	if in.OnLeaderChange != nil {
+		in.OnLeaderChange(in.leader, in.term)
+	}
+	in.recoverFrom(in.oldLeader)
+}
+
+// recoverFrom rebuilds leadership state after winning an election:
+//
+//  1. read every peer's published delivery watermark and the old leader's
+//     published nextSeq (one-sided reads; a crashed peer is skipped);
+//  2. read the old leader's journal and collect entries past the global
+//     minimum watermark (the recovery floor);
+//  3. reset every follower's log ring — zero-fill the data area and
+//     reposition this leader's ring writer at the follower's (now
+//     quiescent) head — because the old leader's writer position is
+//     unknown to us;
+//  4. re-disseminate the recovered entries and start serving.
+func (in *Instance) recoverFrom(old rdma.NodeID) {
+	if old == in.node.ID() {
+		in.becomeActiveLeader(in.lastDelivered + 1)
+		return
+	}
+	floor := in.lastDelivered
+	ceil := in.lastDelivered
+	oldNext := uint64(0)
+	remaining := 0
+	var journal []byte
+	done := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		// Never assign a sequence number at or below any watermark we can
+		// observe: a predecessor that died mid-recovery may publish a
+		// stale (even zero) nextSeq, and reusing numbers would diverge
+		// replicas that already delivered them.
+		if oldNext < ceil+1 {
+			oldNext = ceil + 1
+		}
+		var recovered [][]byte
+		for seq := floor + 1; seq < oldNext; seq++ {
+			if journal == nil {
+				break
+			}
+			slot := int(seq) % in.cfg.JournalSlots
+			framed := journal[slot*in.cfg.JournalSlotSize : (slot+1)*in.cfg.JournalSlotSize]
+			entry, _, derr := codec.DecodeSlot(framed)
+			if derr != nil {
+				continue
+			}
+			je, derr := decodeLogEntry(entry)
+			if derr != nil || je.seq != seq {
+				continue // slot overwritten (journal wrapped)
+			}
+			recovered = append(recovered, append([]byte(nil), entry...))
+		}
+		in.resetRings(func() {
+			for _, entry := range recovered {
+				in.redisseminate(entry)
+			}
+			in.becomeActiveLeader(oldNext)
+		})
+	}
+	// Phase 1+2: gather peer states and the old leader's journal.
+	for p := 0; p < in.n; p++ {
+		peer := rdma.NodeID(p)
+		if peer == in.node.ID() {
+			continue
+		}
+		remaining++
+		in.node.QP(peer).Read(stateRegion(in.group), 0, 16, func(data []byte, err error) {
+			if err == nil {
+				ld := binary.LittleEndian.Uint64(data[8:])
+				if ld < floor {
+					floor = ld
+				}
+				if ld > ceil {
+					ceil = ld
+				}
+				if peer == old {
+					oldNext = binary.LittleEndian.Uint64(data)
+				}
+			}
+			done()
+		})
+	}
+	remaining++
+	size := in.cfg.JournalSlots * in.cfg.JournalSlotSize
+	in.node.QP(old).Read(journalRegion(in.group), 0, size, func(data []byte, err error) {
+		if err == nil {
+			journal = data
+		}
+		done()
+	})
+}
+
+// resetRings zero-fills every follower's log ring and repositions this
+// node's ring writers at the followers' heads, then runs next. Zero-filling
+// quiesces each reader (nothing left to consume), so the head read after it
+// is stable; the subsequent entry writes travel on the same QP and land in
+// order.
+func (in *Instance) resetRings(next func()) {
+	remaining := 0
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			next()
+		}
+	}
+	for p := 0; p < in.n; p++ {
+		peer := rdma.NodeID(p)
+		oc := in.logOut[peer]
+		if oc == nil {
+			continue
+		}
+		remaining++
+		oc.queue = nil
+		in.resetRing(peer, oc, done)
+	}
+	if remaining == 0 {
+		next()
+	}
+}
+
+// resetRing zero-fills one follower's log ring and repositions the writer
+// at the follower's head. A suspended follower still holds the old
+// leader's write permission (it has not processed the vote request yet);
+// the reset retries until the permission flips or this node is deposed,
+// with the journal catch-up covering the follower in the interim. done is
+// invoked exactly once, on the first outcome.
+func (in *Instance) resetRing(peer rdma.NodeID, oc *outChan, done func()) {
+	first := true
+	finish := func() {
+		if first {
+			first = false
+			done()
+		}
+	}
+	var attempt func()
+	attempt = func() {
+		if !in.isLeader && !in.recovering {
+			finish() // deposed meanwhile
+			return
+		}
+		zeros := make([]byte, in.cfg.RingCapacity)
+		in.node.QP(peer).Write(logRegion(in.group), ring.HeaderSize, zeros, func(err error) {
+			if err == rdma.ErrPermission {
+				// Voter has not switched permissions yet: retry.
+				in.fab.Engine().After(in.cfg.CatchUpAfter, attempt)
+				finish()
+				return
+			}
+			if err != nil {
+				finish() // crashed peer: leave its channel alone
+				return
+			}
+			in.node.QP(peer).Read(logRegion(in.group), 0, ring.HeaderSize, func(data []byte, rerr error) {
+				if rerr == nil {
+					oc.w = ring.NewWriterAt(in.cfg.RingCapacity, ring.DecodeHead(data))
+				}
+				finish()
+			})
+		})
+	}
+	attempt()
+}
+
+// redisseminate re-journals and re-sends a recovered entry under this
+// leader's term. Receivers (and our own delivery path) dedup.
+func (in *Instance) redisseminate(old []byte) {
+	oe, err := decodeLogEntry(old)
+	if err != nil {
+		return
+	}
+	seq := oe.seq
+	entry := encodeEntry(seq, in.term, in.lastDelivered, oe.origin, oe.submitSeq, oe.payload)
+	in.journalRaw(seq, entry)
+	in.entries[seq] = entry
+	if seq <= in.lastDelivered {
+		delete(in.entries, seq)
+	} else {
+		in.acks[seq] = 1
+		in.decided[seq] = in.acks[seq] >= in.majority()
+		if in.decided[seq] {
+			in.decide(seq)
+		}
+	}
+	for p := 0; p < in.n; p++ {
+		oc := in.logOut[rdma.NodeID(p)]
+		if oc == nil {
+			continue
+		}
+		seq := seq
+		in.send(oc, entry, func(err error) { in.acked(seq, err) })
+	}
+}
+
+func (in *Instance) journalRaw(seq uint64, entry []byte) {
+	slot := int(seq) % in.cfg.JournalSlots
+	framed, err := codec.EncodeSlot(entry, uint32(seq), in.cfg.JournalSlotSize)
+	if err != nil {
+		panic(fmt.Sprintf("mu: journal slot too small: %v", err))
+	}
+	copy(in.node.Region(journalRegion(in.group)).Bytes()[slot*in.cfg.JournalSlotSize:], framed)
+}
+
+func (in *Instance) becomeActiveLeader(nextSeq uint64) {
+	in.recovering = false
+	if nextSeq > in.nextSeq {
+		in.nextSeq = nextSeq
+	}
+	binary.LittleEndian.PutUint64(in.node.Region(stateRegion(in.group)).Bytes(), in.nextSeq)
+	in.resubmitPending()
+}
+
+// resubmitPending re-routes this node's undelivered submissions to the
+// current leader, in submission order (sorted for determinism).
+// Delivery-side dedup makes replays harmless.
+func (in *Instance) resubmitPending() {
+	seqs := make([]uint64, 0, len(in.pending))
+	for submitSeq := range in.pending {
+		seqs = append(seqs, submitSeq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, submitSeq := range seqs {
+		in.route(submitSeq, in.pending[submitSeq])
+	}
+}

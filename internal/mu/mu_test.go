@@ -1,0 +1,549 @@
+package mu
+
+import (
+	"fmt"
+	"testing"
+
+	"hamband/internal/heartbeat"
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+)
+
+type cluster struct {
+	eng  *sim.Engine
+	fab  *rdma.Fabric
+	inst []*Instance
+	// delivered[node] is the ordered list of payloads delivered there.
+	delivered [][]string
+	seqs      [][]uint64
+}
+
+func newCluster(t *testing.T, n int, leader rdma.NodeID) *cluster {
+	t.Helper()
+	eng := sim.NewEngine(41)
+	fab := rdma.NewFabric(eng, n, rdma.DefaultLatency())
+	cfg := DefaultConfig()
+	Setup(fab, "g", cfg, leader)
+	c := &cluster{eng: eng, fab: fab, delivered: make([][]string, n), seqs: make([][]uint64, n)}
+	for i := 0; i < n; i++ {
+		i := i
+		in := NewInstance(fab, fab.Node(rdma.NodeID(i)), "g", cfg, leader)
+		in.Deliver = func(seq uint64, origin rdma.NodeID, payload []byte) {
+			c.delivered[i] = append(c.delivered[i], string(payload))
+			c.seqs[i] = append(c.seqs[i], seq)
+		}
+		c.inst = append(c.inst, in)
+	}
+	return c
+}
+
+func (c *cluster) run(d sim.Duration) { c.eng.RunUntil(c.eng.Now() + sim.Time(d)) }
+
+func TestLeaderSubmissionReachesAll(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() { c.inst[0].Submit([]byte("a")) })
+	c.run(2 * sim.Millisecond)
+	for i := 0; i < 3; i++ {
+		if len(c.delivered[i]) != 1 || c.delivered[i][0] != "a" {
+			t.Fatalf("node %d delivered %v", i, c.delivered[i])
+		}
+	}
+}
+
+func TestFollowerSubmissionRedirects(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() { c.inst[2].Submit([]byte("via-follower")) })
+	c.run(2 * sim.Millisecond)
+	for i := 0; i < 3; i++ {
+		if len(c.delivered[i]) != 1 || c.delivered[i][0] != "via-follower" {
+			t.Fatalf("node %d delivered %v", i, c.delivered[i])
+		}
+	}
+}
+
+func TestTotalOrderAcrossSubmitters(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	const per = 40
+	c.eng.At(0, func() {
+		for i := 0; i < per; i++ {
+			for s := 0; s < 4; s++ {
+				c.inst[s].Submit([]byte(fmt.Sprintf("s%d-%d", s, i)))
+			}
+		}
+	})
+	c.run(50 * sim.Millisecond)
+	want := 4 * per
+	for i := 0; i < 4; i++ {
+		if len(c.delivered[i]) != want {
+			t.Fatalf("node %d delivered %d, want %d", i, len(c.delivered[i]), want)
+		}
+	}
+	// Same total order everywhere.
+	for i := 1; i < 4; i++ {
+		for j := range c.delivered[0] {
+			if c.delivered[i][j] != c.delivered[0][j] {
+				t.Fatalf("node %d order diverges at %d: %q vs %q",
+					i, j, c.delivered[i][j], c.delivered[0][j])
+			}
+		}
+	}
+	// Sequence numbers are contiguous from 1.
+	for j, s := range c.seqs[0] {
+		if s != uint64(j+1) {
+			t.Fatalf("gap in sequence numbers at %d: %v...", j, c.seqs[0][:j+1])
+		}
+	}
+}
+
+func TestPermissionBlocksDeposedLeader(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	// Manually run an election on node 1 (as if the detector fired).
+	c.eng.At(sim.Time(100*sim.Microsecond), func() { c.inst[1].StartElection() })
+	c.run(5 * sim.Millisecond)
+	if !c.inst[1].IsLeader() {
+		t.Fatal("candidate did not become leader")
+	}
+	if c.inst[0].IsLeader() {
+		// Node 0 learns it was deposed when it handles the vote request.
+		t.Fatal("old leader still believes it leads after voting")
+	}
+	// The old leader's writes must now be rejected by permissions: submit
+	// through node 0 — it should route to the new leader (it granted the
+	// vote, so it knows), and the system must still deliver.
+	c.eng.At(c.eng.Now(), func() { c.inst[0].Submit([]byte("post-change")) })
+	c.run(5 * sim.Millisecond)
+	for i := 0; i < 3; i++ {
+		if len(c.delivered[i]) != 1 || c.delivered[i][0] != "post-change" {
+			t.Fatalf("node %d delivered %v after leader change", i, c.delivered[i])
+		}
+	}
+	if c.inst[1].Term() == 0 {
+		t.Fatal("term did not advance")
+	}
+}
+
+func TestLeaderFailureWithRecovery(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	// The leader orders a few entries, then suspends mid-stream; node 1
+	// takes over and must recover undelivered entries from the journal.
+	c.eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			c.inst[0].Submit([]byte(fmt.Sprintf("pre-%d", i)))
+		}
+	})
+	c.eng.At(sim.Time(30*sim.Microsecond), func() {
+		c.fab.Node(0).Suspend() // mid-fan-out
+	})
+	c.eng.At(sim.Time(200*sim.Microsecond), func() { c.inst[1].StartElection() })
+	c.eng.At(sim.Time(3*sim.Millisecond), func() { c.inst[1].Submit([]byte("post")) })
+	c.run(20 * sim.Millisecond)
+
+	if !c.inst[1].IsLeader() {
+		t.Fatal("node 1 did not take over")
+	}
+	// Both survivors must deliver the same sequence, ending with "post".
+	if len(c.delivered[1]) == 0 || len(c.delivered[2]) == 0 {
+		t.Fatalf("survivors delivered %d/%d entries", len(c.delivered[1]), len(c.delivered[2]))
+	}
+	if len(c.delivered[1]) != len(c.delivered[2]) {
+		t.Fatalf("survivors delivered %d vs %d entries", len(c.delivered[1]), len(c.delivered[2]))
+	}
+	for j := range c.delivered[1] {
+		if c.delivered[1][j] != c.delivered[2][j] {
+			t.Fatalf("survivor orders diverge at %d", j)
+		}
+	}
+	last := c.delivered[1][len(c.delivered[1])-1]
+	if last != "post" {
+		t.Fatalf("last delivery = %q, want the post-failover entry", last)
+	}
+}
+
+func TestFollowerFailureDoesNotBlock(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() { c.fab.Node(2).Suspend() })
+	c.eng.At(sim.Time(10*sim.Microsecond), func() {
+		for i := 0; i < 20; i++ {
+			c.inst[0].Submit([]byte(fmt.Sprintf("m%d", i)))
+		}
+	})
+	c.run(10 * sim.Millisecond)
+	for _, i := range []int{0, 1} {
+		if len(c.delivered[i]) != 20 {
+			t.Fatalf("node %d delivered %d, want 20 despite follower failure", i, len(c.delivered[i]))
+		}
+	}
+}
+
+func TestResubmissionAfterLeaderChange(t *testing.T) {
+	// A follower submits to a leader that is already suspended: the request
+	// lands in the dead leader's ring. After the leader change the follower
+	// must resubmit to the new leader, and delivery must happen exactly once.
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() { c.fab.Node(0).Suspend() })
+	c.eng.At(sim.Time(20*sim.Microsecond), func() { c.inst[2].Submit([]byte("orphan")) })
+	c.eng.At(sim.Time(200*sim.Microsecond), func() { c.inst[1].StartElection() })
+	c.run(20 * sim.Millisecond)
+	for _, i := range []int{1, 2} {
+		count := 0
+		for _, m := range c.delivered[i] {
+			if m == "orphan" {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("node %d delivered the orphan %d times, want exactly once", i, count)
+		}
+	}
+}
+
+func TestElectionWithDetectorIntegration(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	hbCfg := heartbeat.DefaultConfig()
+	for i := 0; i < 3; i++ {
+		heartbeat.Register(c.fab.Node(rdma.NodeID(i)))
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		heartbeat.NewBeater(c.eng, c.fab.Node(rdma.NodeID(i)), hbCfg.BeatPeriod)
+		d := heartbeat.NewDetector(c.fab, c.fab.Node(rdma.NodeID(i)), hbCfg)
+		d.OnSuspect = func(peer rdma.NodeID) {
+			// Next node in ring order becomes candidate.
+			if peer == c.inst[i].Leader() && rdma.NodeID((int(peer)+1)%3) == c.fab.Node(rdma.NodeID(i)).ID() {
+				c.inst[i].StartElection()
+			}
+		}
+	}
+	c.eng.At(sim.Time(100*sim.Microsecond), func() { c.fab.Node(0).Suspend() })
+	c.eng.At(sim.Time(5*sim.Millisecond), func() { c.inst[2].Submit([]byte("after")) })
+	c.run(20 * sim.Millisecond)
+	if !c.inst[1].IsLeader() {
+		t.Fatal("detector-driven election did not elect node 1")
+	}
+	for _, i := range []int{1, 2} {
+		found := false
+		for _, m := range c.delivered[i] {
+			if m == "after" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missing post-failover delivery", i)
+		}
+	}
+}
+
+func TestStaleCandidacyIgnored(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	c.eng.At(sim.Time(100*sim.Microsecond), func() { c.inst[1].StartElection() })
+	c.run(5 * sim.Millisecond)
+	term := c.inst[1].Term()
+	// A stale vote (lower term) must not depose the new leader.
+	c.eng.At(c.eng.Now(), func() { c.inst[1].handleVote(term-1, 2) })
+	c.run(sim.Millisecond)
+	if !c.inst[1].IsLeader() {
+		t.Fatal("stale candidacy deposed the leader")
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	c := newCluster(t, 1, 0)
+	c.eng.At(0, func() { c.inst[0].Submit([]byte("solo")) })
+	c.run(sim.Millisecond)
+	if len(c.delivered[0]) != 1 || c.delivered[0][0] != "solo" {
+		t.Fatalf("delivered %v", c.delivered[0])
+	}
+}
+
+func TestCompetingCandidatesResolveDeterministically(t *testing.T) {
+	// The leader fails and BOTH survivors stand for election in the same
+	// term simultaneously. The tie must resolve (lower id wins) rather than
+	// deadlock with each candidate ignoring the other's request.
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() { c.fab.Node(0).Suspend() })
+	c.eng.At(sim.Time(100*sim.Microsecond), func() {
+		c.inst[1].StartElection()
+		c.inst[2].StartElection()
+	})
+	c.eng.At(sim.Time(10*sim.Millisecond), func() { c.inst[2].Submit([]byte("after-tie")) })
+	c.run(50 * sim.Millisecond)
+	if !c.inst[1].IsLeader() {
+		t.Fatalf("node 1 (lower id) should win the tie; leaders: p1=%v p2=%v",
+			c.inst[1].IsLeader(), c.inst[2].IsLeader())
+	}
+	if c.inst[2].IsLeader() {
+		t.Fatal("both candidates became leader")
+	}
+	for _, i := range []int{1, 2} {
+		found := false
+		for _, m := range c.delivered[i] {
+			if m == "after-tie" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missing post-tie delivery", i)
+		}
+	}
+}
+
+func TestDuplicateVoteSameTermIgnored(t *testing.T) {
+	// A voter grants at most one candidate per term.
+	c := newCluster(t, 5, 0)
+	c.eng.At(sim.Time(100*sim.Microsecond), func() {
+		c.inst[1].StartElection()
+	})
+	c.run(5 * sim.Millisecond)
+	term := c.inst[1].Term()
+	// A later same-term candidacy from a higher id must not depose p1.
+	c.eng.At(c.eng.Now(), func() { c.inst[3].handleVote(term, 3) })
+	c.run(sim.Millisecond)
+	if !c.inst[1].IsLeader() {
+		t.Fatal("leader lost leadership to a same-term stale candidacy")
+	}
+}
+
+func TestLogRingBackpressure(t *testing.T) {
+	// A tiny log ring forces the leader through the head-refresh path;
+	// every entry must still arrive, in order.
+	eng := sim.NewEngine(43)
+	fab := rdma.NewFabric(eng, 3, rdma.DefaultLatency())
+	cfg := DefaultConfig()
+	cfg.RingCapacity = 512
+	Setup(fab, "bp", cfg, 0)
+	delivered := make([][]uint64, 3)
+	var inst []*Instance
+	for i := 0; i < 3; i++ {
+		i := i
+		in := NewInstance(fab, fab.Node(rdma.NodeID(i)), "bp", cfg, 0)
+		in.Deliver = func(seq uint64, _ rdma.NodeID, _ []byte) {
+			delivered[i] = append(delivered[i], seq)
+		}
+		inst = append(inst, in)
+	}
+	const n = 200
+	eng.At(0, func() {
+		for i := 0; i < n; i++ {
+			inst[0].Submit(make([]byte, 64))
+		}
+	})
+	eng.RunUntil(sim.Time(200 * sim.Millisecond))
+	for i := 0; i < 3; i++ {
+		if len(delivered[i]) != n {
+			t.Fatalf("node %d delivered %d/%d under backpressure", i, len(delivered[i]), n)
+		}
+		for j, s := range delivered[i] {
+			if s != uint64(j+1) {
+				t.Fatalf("node %d out of order at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestStopCancelsPolling(t *testing.T) {
+	c := newCluster(t, 2, 0)
+	c.inst[1].Stop()
+	c.eng.At(0, func() { c.inst[0].Submit([]byte("x")) })
+	c.run(5 * sim.Millisecond)
+	if len(c.delivered[1]) != 0 {
+		t.Fatal("stopped instance still delivered")
+	}
+	if len(c.delivered[0]) != 1 {
+		t.Fatal("leader should still decide with a majority (2/2 posts, self + completion)")
+	}
+}
+
+func TestJournalWrapDiscardsOverwrittenSlots(t *testing.T) {
+	// More entries than journal slots: recovery after that must not
+	// resurrect garbage (overwritten slots are detected by seq mismatch).
+	eng := sim.NewEngine(44)
+	fab := rdma.NewFabric(eng, 3, rdma.DefaultLatency())
+	cfg := DefaultConfig()
+	cfg.JournalSlots = 16
+	Setup(fab, "jw", cfg, 0)
+	delivered := make([]int, 3)
+	var inst []*Instance
+	for i := 0; i < 3; i++ {
+		i := i
+		in := NewInstance(fab, fab.Node(rdma.NodeID(i)), "jw", cfg, 0)
+		in.Deliver = func(uint64, rdma.NodeID, []byte) { delivered[i]++ }
+		inst = append(inst, in)
+	}
+	eng.At(0, func() {
+		for i := 0; i < 100; i++ {
+			inst[0].Submit([]byte("m"))
+		}
+	})
+	eng.At(sim.Time(20*sim.Millisecond), func() {
+		fab.Node(0).Suspend()
+	})
+	eng.At(sim.Time(21*sim.Millisecond), func() { inst[1].StartElection() })
+	eng.At(sim.Time(40*sim.Millisecond), func() { inst[1].Submit([]byte("post")) })
+	eng.RunUntil(sim.Time(100 * sim.Millisecond))
+	if !inst[1].IsLeader() {
+		t.Fatal("takeover failed")
+	}
+	// Survivors agree and include the post-failover entry.
+	if delivered[1] != delivered[2] {
+		t.Fatalf("survivors delivered %d vs %d", delivered[1], delivered[2])
+	}
+	if delivered[1] < 101 {
+		t.Fatalf("delivered %d, want >= 101", delivered[1])
+	}
+}
+
+func TestZombieLeaderCannotDecide(t *testing.T) {
+	// The deposed-leader scenario the chaos suite uncovered: the original
+	// leader suspends; a successor is elected; the old leader resumes and
+	// — not yet aware of its deposition — keeps proposing. Its zombie
+	// proposals must never deliver anywhere (its writes fail voter
+	// permissions, so it cannot assemble a majority), and once it
+	// processes the election it must resubmit them to the real leader,
+	// delivering exactly once.
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() {
+		c.inst[0].Submit([]byte("legit-1"))
+	})
+	c.eng.At(sim.Time(100*sim.Microsecond), func() { c.fab.Node(0).Suspend() })
+	c.eng.At(sim.Time(200*sim.Microsecond), func() { c.inst[1].StartElection() })
+	c.eng.At(sim.Time(2*sim.Millisecond), func() {
+		// New leader serves traffic under term 1.
+		c.inst[1].Submit([]byte("new-era"))
+	})
+	c.eng.At(sim.Time(3*sim.Millisecond), func() {
+		// The zombie resumes and immediately proposes, before its poll
+		// loop has processed the vote request.
+		c.fab.Node(0).Resume()
+		c.inst[0].Submit([]byte("zombie"))
+	})
+	c.run(30 * sim.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		counts := map[string]int{}
+		for _, m := range c.delivered[i] {
+			counts[m]++
+		}
+		if counts["zombie"] != 1 {
+			t.Fatalf("node %d delivered zombie %d times, want exactly once (resubmitted to the real leader)",
+				i, counts["zombie"])
+		}
+		if counts["new-era"] != 1 || counts["legit-1"] != 1 {
+			t.Fatalf("node %d deliveries: %v", i, counts)
+		}
+	}
+	// Total order agrees across nodes.
+	for i := 1; i < 3; i++ {
+		if len(c.delivered[i]) != len(c.delivered[0]) {
+			t.Fatalf("node %d delivered %d entries vs %d", i, len(c.delivered[i]), len(c.delivered[0]))
+		}
+		for j := range c.delivered[0] {
+			if c.delivered[i][j] != c.delivered[0][j] {
+				t.Fatalf("order diverges at %d", j)
+			}
+		}
+	}
+	if c.inst[0].IsLeader() {
+		t.Fatal("zombie still believes it leads after resuming")
+	}
+}
+
+func TestCommitRecordUnblocksLastEntry(t *testing.T) {
+	// With no pipeline to piggyback on, a single submission's commit must
+	// reach followers via a dedicated commit record — otherwise the last
+	// entry of a burst would sit uncommitted at followers forever.
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() { c.inst[0].Submit([]byte("solo")) })
+	c.run(5 * sim.Millisecond)
+	for i := 0; i < 3; i++ {
+		if len(c.delivered[i]) != 1 {
+			t.Fatalf("node %d delivered %d entries, want 1 (commit record missing?)", i, len(c.delivered[i]))
+		}
+	}
+}
+
+func TestStaleTermEntriesDropped(t *testing.T) {
+	// After a follower has seen a term-1 entry, a lingering term-0 write
+	// landing later in its ring must be discarded, not stashed or applied.
+	c := newCluster(t, 3, 0)
+	c.eng.At(0, func() { c.inst[0].Submit([]byte("term0")) })
+	c.eng.At(sim.Time(500*sim.Microsecond), func() { c.fab.Node(0).Suspend() })
+	c.eng.At(sim.Time(600*sim.Microsecond), func() { c.inst[1].StartElection() })
+	c.eng.At(sim.Time(3*sim.Millisecond), func() { c.inst[1].Submit([]byte("term1")) })
+	c.run(20 * sim.Millisecond)
+	for _, i := range []int{1, 2} {
+		if len(c.delivered[i]) != 2 {
+			t.Fatalf("node %d delivered %d, want 2", i, len(c.delivered[i]))
+		}
+	}
+	// The follower (the leader delivers via decide, not its ring) must
+	// have adopted the new ring term, arming the stale-term filter.
+	if c.inst[2].ringTerm == 0 {
+		t.Fatal("follower never adopted the new ring term")
+	}
+}
+
+func TestFollowerCatchUpAfterMissedElection(t *testing.T) {
+	// A follower suspended through an election misses log writes (its
+	// permissions rejected the new leader); on resume it must catch up
+	// from the leader's journal.
+	c := newCluster(t, 4, 0)
+	c.eng.At(sim.Time(50*sim.Microsecond), func() { c.fab.Node(3).Suspend() })
+	c.eng.At(sim.Time(100*sim.Microsecond), func() { c.fab.Node(0).Suspend() })
+	c.eng.At(sim.Time(250*sim.Microsecond), func() { c.inst[1].StartElection() })
+	c.eng.At(sim.Time(2*sim.Millisecond), func() {
+		for i := 0; i < 10; i++ {
+			c.inst[1].Submit([]byte(fmt.Sprintf("m%d", i)))
+		}
+	})
+	// Node 3 resumes long after: it voted for nobody and missed everything.
+	c.eng.At(sim.Time(5*sim.Millisecond), func() { c.fab.Node(3).Resume() })
+	c.run(50 * sim.Millisecond)
+	if got := len(c.delivered[3]); got != 10 {
+		t.Fatalf("resumed follower delivered %d/10 (catch-up failed)", got)
+	}
+	for j := range c.delivered[3] {
+		if c.delivered[3][j] != c.delivered[1][j] {
+			t.Fatalf("resumed follower's order diverges at %d", j)
+		}
+	}
+}
+
+func TestLogEntryWireRoundTrip(t *testing.T) {
+	e := encodeEntry(42, 3, 41, 2, 99, []byte("payload"))
+	d, err := decodeLogEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.seq != 42 || d.term != 3 || d.commit != 41 || d.origin != 2 ||
+		d.submitSeq != 99 || string(d.payload) != "payload" {
+		t.Fatalf("round trip = %+v", d)
+	}
+	if _, err := decodeLogEntry(e[:20]); err == nil {
+		t.Fatal("truncated entry decoded")
+	}
+	// A commit record has seq 0 and empty payload.
+	cr := encodeEntry(0, 3, 41, 1, 0, nil)
+	d, err = decodeLogEntry(cr)
+	if err != nil || d.seq != 0 || len(d.payload) != 0 {
+		t.Fatalf("commit record round trip = %+v, %v", d, err)
+	}
+}
+
+func TestVoteGrantWireRoundTrip(t *testing.T) {
+	v := encodeVote(7, 2)
+	if binaryTerm(v) != 7 {
+		t.Fatal("vote term mismatch")
+	}
+	g := encodeGrant(7, 123, 1)
+	if binaryTerm(g) != 7 {
+		t.Fatal("grant term mismatch")
+	}
+}
+
+func binaryTerm(b []byte) uint64 {
+	var t uint64
+	for i := 7; i >= 0; i-- {
+		t = t<<8 | uint64(b[i])
+	}
+	return t
+}

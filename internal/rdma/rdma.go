@@ -1,0 +1,425 @@
+// Package rdma simulates an RDMA fabric with Reliable Connection (RC)
+// semantics on top of the deterministic discrete-event engine.
+//
+// The fabric provides the primitives Hamband's protocols are built from:
+//
+//   - registered memory regions with per-remote-node write permissions,
+//   - RC queue pairs carrying one-sided WRITE, READ and CAS verbs with
+//     per-QP in-order delivery,
+//   - completion callbacks charged to the posting node's CPU,
+//   - fault injection: Suspend (the node's process stops, its NIC keeps
+//     serving one-sided accesses — the paper's failure mode) and Crash
+//     (the NIC dies too).
+//
+// Costs follow the cost model of the paper's platform: posting a verb
+// occupies the sender CPU briefly, the write lands in remote memory after a
+// wire delay with no remote CPU involvement, and the sender learns of
+// completion one acknowledgment later. Two-sided messaging (package msgnet)
+// charges CPU on both ends, which is the structural difference the paper's
+// evaluation measures.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+
+	"hamband/internal/sim"
+)
+
+// NodeID identifies a node in the fabric. IDs are dense, starting at 0.
+type NodeID int
+
+// Errors returned through verb completions.
+var (
+	ErrCrashed      = errors.New("rdma: target node crashed")
+	ErrNoRegion     = errors.New("rdma: no such memory region")
+	ErrPermission   = errors.New("rdma: write permission denied")
+	ErrOutOfBounds  = errors.New("rdma: access out of region bounds")
+	ErrLocalCrashed = errors.New("rdma: local node crashed")
+)
+
+// LatencyModel holds the fabric's cost parameters. The defaults
+// (DefaultLatency) are calibrated to published RDMA microbenchmarks for a
+// 40 Gbps InfiniBand RC setup: ~1 µs one-sided write visibility, ~2 µs
+// write-completion RTT, ~2.5 µs read/CAS RTT.
+type LatencyModel struct {
+	PostCost    sim.Duration // sender CPU occupancy to post one verb
+	PollCost    sim.Duration // sender CPU occupancy to reap one completion
+	WireLatency sim.Duration // one-way NIC-to-NIC propagation
+	AckLatency  sim.Duration // remote NIC ack generation + return
+	BytesPerNS  int          // wire bandwidth, bytes per virtual ns
+	CASExtra    sim.Duration // extra remote-NIC time for an atomic op
+	FailTimeout sim.Duration // delay before an op on a crashed target errors
+}
+
+// DefaultLatency returns the calibrated cost model described above.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		PostCost:    150 * sim.Nanosecond,
+		PollCost:    100 * sim.Nanosecond,
+		WireLatency: 800 * sim.Nanosecond,
+		AckLatency:  700 * sim.Nanosecond,
+		BytesPerNS:  5, // 40 Gbps
+		CASExtra:    300 * sim.Nanosecond,
+		FailTimeout: 100 * sim.Microsecond,
+	}
+}
+
+// transfer returns the serialization delay for n bytes.
+func (m LatencyModel) transfer(n int) sim.Duration {
+	if m.BytesPerNS <= 0 {
+		return 0
+	}
+	return sim.Duration(n / m.BytesPerNS)
+}
+
+// Stats counts verb activity for tests and ablation reports.
+type Stats struct {
+	Writes, Reads, CASes uint64
+	BytesWritten         uint64
+	Failed               uint64
+}
+
+// Fabric is a simulated RDMA network connecting a fixed set of nodes.
+type Fabric struct {
+	eng   *sim.Engine
+	lat   LatencyModel
+	nodes []*Node
+	stats Stats
+}
+
+// NewFabric creates a fabric with n nodes using the given cost model.
+func NewFabric(eng *sim.Engine, n int, lat LatencyModel) *Fabric {
+	f := &Fabric{eng: eng, lat: lat}
+	for i := 0; i < n; i++ {
+		f.nodes = append(f.nodes, &Node{
+			id:      NodeID(i),
+			fabric:  f,
+			CPU:     sim.NewCPU(eng),
+			regions: make(map[string]*Region),
+		})
+	}
+	return f
+}
+
+// Engine returns the engine the fabric runs on.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Latency returns the fabric's cost model.
+func (f *Fabric) Latency() LatencyModel { return f.lat }
+
+// Size returns the number of nodes.
+func (f *Fabric) Size() int { return len(f.nodes) }
+
+// Node returns the node with the given id.
+func (f *Fabric) Node(id NodeID) *Node { return f.nodes[id] }
+
+// Stats returns a snapshot of verb counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Node is one machine on the fabric: a CPU, registered memory regions, and
+// queue pairs to its peers.
+type Node struct {
+	id      NodeID
+	fabric  *Fabric
+	CPU     *sim.CPU
+	regions map[string]*Region
+	qps     map[NodeID]*QP
+
+	crashed   bool
+	suspended bool
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Crashed reports whether the node's NIC is dead.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// Suspended reports whether the node's process is paused.
+func (n *Node) Suspended() bool { return n.suspended }
+
+// Register allocates a memory region of the given size under name and
+// returns it. Registering an existing name panics: region layout is part of
+// protocol setup and a double registration is a programming error.
+func (n *Node) Register(name string, size int) *Region {
+	if _, ok := n.regions[name]; ok {
+		panic(fmt.Sprintf("rdma: region %q already registered on node %d", name, n.id))
+	}
+	r := &Region{name: name, owner: n, buf: make([]byte, size), writers: make(map[NodeID]bool)}
+	n.regions[name] = r
+	return r
+}
+
+// Region returns the region registered under name, or nil.
+func (n *Node) Region(name string) *Region { return n.regions[name] }
+
+// QP returns the reliable-connection queue pair from this node to peer,
+// creating it on first use. Verbs posted on the same QP apply at the target
+// in posting order (RC ordering).
+func (n *Node) QP(peer NodeID) *QP {
+	if n.qps == nil {
+		n.qps = make(map[NodeID]*QP)
+	}
+	qp, ok := n.qps[peer]
+	if !ok {
+		qp = &QP{from: n, to: n.fabric.nodes[peer]}
+		n.qps[peer] = qp
+	}
+	return qp
+}
+
+// Suspend pauses the node's process: its CPU stops executing work, but the
+// NIC continues to serve remote one-sided operations. This is the failure
+// the paper injects ("suspending its heartbeat thread").
+func (n *Node) Suspend() {
+	n.suspended = true
+	n.CPU.Suspend()
+}
+
+// Resume reverses Suspend.
+func (n *Node) Resume() {
+	n.suspended = false
+	n.CPU.Resume()
+}
+
+// Crash kills the node entirely: the CPU stops and the NIC no longer
+// serves remote accesses. In-flight operations already on the wire still
+// land at their targets; completions destined to this node are dropped.
+func (n *Node) Crash() {
+	n.crashed = true
+	n.CPU.Suspend()
+}
+
+// Region is a registered memory region. The owner accesses it directly via
+// Bytes; remote nodes access it through verbs, subject to write permission.
+type Region struct {
+	name     string
+	owner    *Node
+	buf      []byte
+	writers  map[NodeID]bool
+	allowAll bool
+}
+
+// Name returns the region's registered name.
+func (r *Region) Name() string { return r.name }
+
+// Size returns the region's length in bytes.
+func (r *Region) Size() int { return len(r.buf) }
+
+// Bytes exposes the region's memory for local access by the owner.
+func (r *Region) Bytes() []byte { return r.buf }
+
+// AllowWrite grants remote write permission to from.
+func (r *Region) AllowWrite(from NodeID) { r.writers[from] = true }
+
+// RevokeWrite removes remote write permission from from. Revocation takes
+// effect for verbs that land after this call (queued wire traffic that
+// arrives later is rejected), which is the property Mu's leader-change
+// protocol relies on.
+func (r *Region) RevokeWrite(from NodeID) { delete(r.writers, from) }
+
+// AllowAllWrites grants write permission to every node.
+func (r *Region) AllowAllWrites() { r.allowAll = true }
+
+// CanWrite reports whether from currently holds write permission.
+func (r *Region) CanWrite(from NodeID) bool { return r.allowAll || r.writers[from] }
+
+// QP is a reliable-connection queue pair from one node to another carrying
+// one-sided verbs. Completion callbacks run on the posting node's CPU.
+type QP struct {
+	from, to *Node
+	lastLand sim.Time // delivery ordering horizon (RC in-order)
+}
+
+// From returns the posting node's ID.
+func (qp *QP) From() NodeID { return qp.from.id }
+
+// To returns the target node's ID.
+func (qp *QP) To() NodeID { return qp.to.id }
+
+// post charges the post cost to the sender CPU and then runs fire, which
+// performs the wire-side work. If the sender has crashed nothing happens.
+func (qp *QP) post(fire func()) {
+	if qp.from.crashed {
+		return
+	}
+	qp.from.CPU.Exec(qp.fabric().lat.PostCost, fire)
+}
+
+func (qp *QP) fabric() *Fabric { return qp.from.fabric }
+
+// landAt computes the (in-order) delivery time for a payload of n bytes
+// posted now, and advances the QP's ordering horizon.
+func (qp *QP) landAt(n int) sim.Time {
+	f := qp.fabric()
+	t := f.eng.Now() + sim.Time(f.lat.WireLatency+f.lat.transfer(n))
+	if t <= qp.lastLand {
+		t = qp.lastLand + 1
+	}
+	qp.lastLand = t
+	return t
+}
+
+// complete schedules cb(err) on the posting node's CPU after the ack
+// travels back. cb may be nil (an unsignaled verb).
+func (qp *QP) complete(landed sim.Time, cb func(error), err error) {
+	if cb == nil {
+		return
+	}
+	f := qp.fabric()
+	f.eng.At(landed+sim.Time(f.lat.AckLatency), func() {
+		if qp.from.crashed {
+			return
+		}
+		qp.from.CPU.Exec(f.lat.PollCost, func() { cb(err) })
+	})
+}
+
+// failLocal reports a local posting failure (crashed target) through cb
+// after the fabric's failure timeout.
+func (qp *QP) failLocal(cb func(error)) {
+	f := qp.fabric()
+	f.stats.Failed++
+	if cb == nil {
+		return
+	}
+	f.eng.After(f.lat.FailTimeout, func() {
+		if qp.from.crashed {
+			return
+		}
+		qp.from.CPU.Exec(f.lat.PollCost, func() { cb(ErrCrashed) })
+	})
+}
+
+// Write posts a one-sided RDMA write of data into (region, off) at the
+// target. The data is copied at post time. onDone, if non-nil, receives the
+// completion on the posting node's CPU; RC semantics guarantee that a
+// successful completion implies the data is in remote memory.
+func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
+	buf := append([]byte(nil), data...)
+	qp.post(func() {
+		f := qp.fabric()
+		f.stats.Writes++
+		f.stats.BytesWritten += uint64(len(buf))
+		if qp.to.crashed {
+			qp.failLocal(onDone)
+			return
+		}
+		landed := qp.landAt(len(buf))
+		f.eng.At(landed, func() {
+			if qp.to.crashed { // crashed while in flight
+				f.stats.Failed++
+				qp.complete(landed, onDone, ErrCrashed)
+				return
+			}
+			r := qp.to.regions[region]
+			err := checkAccess(r, qp.from.id, off, len(buf), true)
+			if err == nil {
+				copy(r.buf[off:], buf)
+			} else {
+				f.stats.Failed++
+			}
+			qp.complete(landed, onDone, err)
+		})
+	})
+}
+
+// Read posts a one-sided RDMA read of n bytes from (region, off) at the
+// target. onDone receives a copy of the remote bytes.
+func (qp *QP) Read(region string, off, n int, onDone func([]byte, error)) {
+	qp.post(func() {
+		f := qp.fabric()
+		f.stats.Reads++
+		if qp.to.crashed {
+			qp.failLocal(func(err error) { onDone(nil, err) })
+			return
+		}
+		landed := qp.landAt(0) // request is small; payload returns with the ack
+		f.eng.At(landed, func() {
+			if qp.to.crashed {
+				f.stats.Failed++
+				qp.complete(landed, func(err error) { onDone(nil, err) }, ErrCrashed)
+				return
+			}
+			r := qp.to.regions[region]
+			err := checkAccess(r, qp.from.id, off, n, false)
+			var data []byte
+			if err == nil {
+				data = append([]byte(nil), r.buf[off:off+n]...)
+			} else {
+				f.stats.Failed++
+			}
+			// The payload rides back with the ack, charged at wire bandwidth.
+			back := landed + sim.Time(f.lat.transfer(n))
+			qp.complete(back, func(e error) { onDone(data, e) }, err)
+		})
+	})
+}
+
+// CAS posts a one-sided 8-byte compare-and-swap on (region, off). onDone
+// receives the previous value; the swap succeeded iff old == expect.
+// Hamband's protocols avoid CAS by design (single-writer buffers); it is
+// provided for completeness and for tests demonstrating its extra cost.
+func (qp *QP) CAS(region string, off int, expect, swap uint64, onDone func(old uint64, err error)) {
+	qp.post(func() {
+		f := qp.fabric()
+		f.stats.CASes++
+		if qp.to.crashed {
+			qp.failLocal(func(err error) { onDone(0, err) })
+			return
+		}
+		landed := qp.landAt(8) + sim.Time(f.lat.CASExtra)
+		qp.lastLand = landed
+		f.eng.At(landed, func() {
+			if qp.to.crashed {
+				f.stats.Failed++
+				qp.complete(landed, func(err error) { onDone(0, err) }, ErrCrashed)
+				return
+			}
+			r := qp.to.regions[region]
+			err := checkAccess(r, qp.from.id, off, 8, true)
+			var old uint64
+			if err == nil {
+				old = readU64(r.buf[off:])
+				if old == expect {
+					putU64(r.buf[off:], swap)
+				}
+			} else {
+				f.stats.Failed++
+			}
+			qp.complete(landed, func(e error) { onDone(old, e) }, err)
+		})
+	})
+}
+
+func checkAccess(r *Region, from NodeID, off, n int, write bool) error {
+	if r == nil {
+		return ErrNoRegion
+	}
+	if off < 0 || n < 0 || off+n > len(r.buf) {
+		return ErrOutOfBounds
+	}
+	if write && !r.CanWrite(from) {
+		return ErrPermission
+	}
+	return nil
+}
+
+func readU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,137 @@
+package rdmawrdt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hamband/internal/spec"
+)
+
+// Explorer drives random executions of the concrete semantics under the
+// refinement checker: random issues interleaved with random buffer
+// applications. It is the harness for Lemma 3 and Corollaries 1–2.
+type Explorer struct {
+	RC   *RefinementChecker
+	rng  *rand.Rand
+	seqs []uint64
+}
+
+// NewExplorer returns an explorer over fresh lock-step states.
+func NewExplorer(an *spec.Analysis, nprocs int, rng *rand.Rand) *Explorer {
+	return &Explorer{RC: NewChecker(an, nprocs), rng: rng, seqs: make([]uint64, nprocs)}
+}
+
+// nextCall builds a random update call issued at a process chosen per the
+// method's category (conflicting calls are issued at their group leader,
+// as the runtime redirects them there).
+func (e *Explorer) nextCall() spec.Call {
+	k := e.RC.K
+	ups := k.Class.UpdateMethods()
+	u := ups[e.rng.Intn(len(ups))]
+	c := k.Class.Gen.Call(e.rng, u)
+	if k.An.Category[u] == spec.CatConflicting {
+		c.Proc = k.Leader(k.An.SyncGroupOf[u])
+	} else {
+		c.Proc = spec.ProcID(e.rng.Intn(k.NumProcs()))
+	}
+	c.Seq = e.seqs[c.Proc] + 1
+	return c
+}
+
+// Step attempts one random transition: an issue with probability issueBias,
+// otherwise a random buffer application. It returns a refinement error if
+// the lock-step check fails.
+func (e *Explorer) Step(issueBias float64) error {
+	if e.rng.Float64() < issueBias {
+		c := e.nextCall()
+		fired, err := e.RC.Issue(c)
+		if err != nil {
+			return err
+		}
+		if fired {
+			e.seqs[c.Proc]++
+		}
+		return nil
+	}
+	return e.applyRandom()
+}
+
+func (e *Explorer) applyRandom() error {
+	k := e.RC.K
+	p := spec.ProcID(e.rng.Intn(k.NumProcs()))
+	// Choose a random non-empty buffer at p.
+	type target struct {
+		conf bool
+		idx  int
+	}
+	var opts []target
+	for from := range k.Procs[p].F {
+		if len(k.Procs[p].F[from]) > 0 {
+			opts = append(opts, target{false, from})
+		}
+	}
+	for g := range k.Procs[p].L {
+		if len(k.Procs[p].L[g]) > 0 {
+			opts = append(opts, target{true, g})
+		}
+	}
+	if len(opts) == 0 {
+		return nil
+	}
+	pick := opts[e.rng.Intn(len(opts))]
+	var err error
+	if pick.conf {
+		_, err = e.RC.ConfApp(p, pick.idx)
+	} else {
+		_, err = e.RC.FreeApp(p, spec.ProcID(pick.idx))
+	}
+	return err
+}
+
+// Drain applies buffered calls until every buffer is empty, failing if no
+// progress is possible.
+func (e *Explorer) Drain() error {
+	k := e.RC.K
+	for !k.Drained() {
+		progressed := false
+		for p := 0; p < k.NumProcs(); p++ {
+			pp := spec.ProcID(p)
+			for from := range k.Procs[p].F {
+				if len(k.Procs[p].F[from]) > 0 {
+					fired, err := e.RC.FreeApp(pp, spec.ProcID(from))
+					if err != nil {
+						return err
+					}
+					progressed = progressed || fired
+				}
+			}
+			for g := range k.Procs[p].L {
+				if len(k.Procs[p].L[g]) > 0 {
+					fired, err := e.RC.ConfApp(pp, g)
+					if err != nil {
+						return err
+					}
+					progressed = progressed || fired
+				}
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("rdmawrdt: drain stuck")
+		}
+	}
+	return nil
+}
+
+// RandomQuery fires a random query at a random process through the
+// lock-step checker.
+func (e *Explorer) RandomQuery() error {
+	qs := e.RC.K.Class.QueryMethods()
+	if len(qs) == 0 {
+		return nil
+	}
+	q := qs[e.rng.Intn(len(qs))]
+	c := e.RC.K.Class.Gen.Call(e.rng, q)
+	p := spec.ProcID(e.rng.Intn(e.RC.K.NumProcs()))
+	_, err := e.RC.Query(p, q, c.Args)
+	return err
+}

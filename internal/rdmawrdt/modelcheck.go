@@ -1,0 +1,152 @@
+package rdmawrdt
+
+import (
+	"fmt"
+
+	"hamband/internal/spec"
+)
+
+// Clone deep-copies a configuration, enabling exhaustive state-space
+// exploration (the model checker forks the configuration at every choice
+// point).
+func (k *Config) Clone() *Config {
+	c := &Config{
+		Class:   k.Class,
+		An:      k.An,
+		Leaders: append([]spec.ProcID(nil), k.Leaders...),
+	}
+	for _, p := range k.Procs {
+		q := &Proc{
+			Sigma: p.Sigma.Clone(),
+			A:     p.A.Clone(),
+		}
+		for _, row := range p.S {
+			q.S = append(q.S, append([]spec.Call(nil), row...))
+		}
+		q.F = make([][]Entry, len(p.F))
+		for i, buf := range p.F {
+			q.F[i] = append([]Entry(nil), buf...)
+		}
+		q.L = make([][]Entry, len(p.L))
+		for i, buf := range p.L {
+			q.L[i] = append([]Entry(nil), buf...)
+		}
+		c.Procs = append(c.Procs, q)
+	}
+	return c
+}
+
+// CheckExhaustive explores EVERY interleaving of the given candidate calls
+// with every possible buffer-application schedule, up to the implicit bound
+// of issuing each candidate once. At every reached state it runs the
+// lock-step refinement check against the abstract semantics, and at every
+// fully drained terminal state it checks convergence.
+//
+// Unlike the randomized explorers, this is complete for its scope: any
+// coordination bug reachable within the candidate set is found. Scope
+// grows exponentially — keep candidates ≤ ~6 for 2–3 processes.
+//
+// Candidate calls must carry distinct (Proc, Seq) request ids; conflicting
+// candidates must be stamped with their group leader as Proc.
+func CheckExhaustive(an *spec.Analysis, nprocs int, candidates []spec.Call) (states int, err error) {
+	rc := NewChecker(an, nprocs)
+	issued := make([]bool, len(candidates))
+	return checkDFS(rc, candidates, issued)
+}
+
+func checkDFS(rc *RefinementChecker, candidates []spec.Call, issued []bool) (int, error) {
+	states := 1
+	progressed := false
+
+	// Choice: issue any not-yet-issued candidate.
+	for i, c := range candidates {
+		if issued[i] {
+			continue
+		}
+		fork := forkChecker(rc)
+		fired, err := fork.Issue(c)
+		if err != nil {
+			return states, fmt.Errorf("issue %s: %w", c.Format(rc.K.Class), err)
+		}
+		if !fired {
+			continue // impermissible here; maybe permissible in another order
+		}
+		progressed = true
+		issued[i] = true
+		n, err := checkDFS(fork, candidates, issued)
+		issued[i] = false
+		states += n
+		if err != nil {
+			return states, err
+		}
+	}
+
+	// Choice: apply any non-empty buffer head.
+	for p := 0; p < rc.K.NumProcs(); p++ {
+		pp := spec.ProcID(p)
+		for from := range rc.K.Procs[p].F {
+			if len(rc.K.Procs[p].F[from]) == 0 {
+				continue
+			}
+			fork := forkChecker(rc)
+			fired, err := fork.FreeApp(pp, spec.ProcID(from))
+			if err != nil {
+				return states, fmt.Errorf("free-app at p%d: %w", p, err)
+			}
+			if !fired {
+				continue // dependency-blocked here
+			}
+			progressed = true
+			n, err := checkDFS(fork, candidates, issued)
+			states += n
+			if err != nil {
+				return states, err
+			}
+		}
+		for g := range rc.K.Procs[p].L {
+			if len(rc.K.Procs[p].L[g]) == 0 {
+				continue
+			}
+			fork := forkChecker(rc)
+			fired, err := fork.ConfApp(pp, g)
+			if err != nil {
+				return states, fmt.Errorf("conf-app at p%d: %w", p, err)
+			}
+			if !fired {
+				continue
+			}
+			progressed = true
+			n, err := checkDFS(fork, candidates, issued)
+			states += n
+			if err != nil {
+				return states, err
+			}
+		}
+	}
+
+	if !progressed {
+		// Terminal state. If everything was issued but buffers still hold
+		// calls, the dependency gating wedged — a coordination bug.
+		allIssued := true
+		for _, done := range issued {
+			allIssued = allIssued && done
+		}
+		if allIssued && !rc.K.Drained() {
+			return states, fmt.Errorf("rdmawrdt: terminal state with undrained buffers (dependency deadlock)")
+		}
+		if rc.K.Drained() {
+			if err := rc.K.CheckConvergence(); err != nil {
+				return states, err
+			}
+		}
+		if err := rc.K.CheckIntegrity(); err != nil {
+			return states, err
+		}
+	}
+	return states, nil
+}
+
+// forkChecker clones both sides of the lock-step pair.
+func forkChecker(rc *RefinementChecker) *RefinementChecker {
+	return &RefinementChecker{K: rc.K.Clone(), W: rc.W.Clone()}
+}

@@ -1,0 +1,30 @@
+package ring
+
+import "testing"
+
+// FuzzReaderPoll asserts the ring reader never panics on arbitrary region
+// contents — a misbehaving remote writer may have scribbled anything into
+// the data area.
+func FuzzReaderPoll(f *testing.F) {
+	region := make([]byte, RegionSize(256))
+	f.Add(region, 3)
+	f.Fuzz(func(t *testing.T, data []byte, polls int) {
+		if len(data) <= HeaderSize+4 {
+			return
+		}
+		buf := append([]byte(nil), data...)
+		r := NewReader(buf)
+		for i := 0; i < polls%16+1; i++ {
+			rec, ok, err := r.Poll()
+			if err != nil {
+				return // corrupt layout detected, fine
+			}
+			if !ok {
+				return
+			}
+			if len(rec) == 0 {
+				t.Fatal("Poll returned ok with an empty record")
+			}
+		}
+	})
+}

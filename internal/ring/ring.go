@@ -1,0 +1,200 @@
+// Package ring implements the single-writer remote ring buffers Hamband
+// stores its F (conflict-free) and L (conflicting) call buffers in (§4).
+//
+// Each buffer lives in one RDMA memory region on the reader's node:
+//
+//	bytes [0,8):       head counter — the logical number of bytes the local
+//	                   reader has consumed; written locally by the reader,
+//	                   read remotely by the writer for flow control.
+//	bytes [8, 8+cap):  the data ring, written remotely by the single writer.
+//
+// The writer keeps the tail locally (the paper: "a tail that is remotely
+// stored at the single writer node") and a cached copy of the head; an
+// append is therefore a purely local computation followed by one remote
+// write. Records are self-delimiting (codec framing: u32 length … canary
+// byte); the reader detects a complete record by its non-zero length word
+// and trailing canary, consumes it, zeroes the bytes for reuse and
+// advances its head. Records never span the wrap boundary: the writer
+// leaves a skip marker and continues at offset zero.
+package ring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderSize is the region prefix holding the head counter.
+const HeaderSize = 8
+
+// skipMarker fills the length word of a wrap-skip record.
+const skipMarker = 0xFFFFFFFF
+
+// ErrCorrupt reports a reader finding an impossible record layout.
+var ErrCorrupt = errors.New("ring: corrupt record")
+
+// RegionSize returns the memory-region size for a ring of the given data
+// capacity.
+func RegionSize(capacity int) int { return HeaderSize + capacity }
+
+// Write is one remote write the writer must post: Data at region offset Off.
+type Write struct {
+	Off  int
+	Data []byte
+}
+
+// Writer is the remote-writer side of a ring. It is a pure state machine:
+// Append computes placement and returns the remote writes to post; the
+// caller performs them on its QP (in order) and refreshes the cached head
+// with NoteHead after remotely reading the head counter.
+type Writer struct {
+	capacity   uint64
+	tail       uint64 // logical bytes written (monotone)
+	cachedHead uint64 // last observed head (monotone, lags reality)
+}
+
+// NewWriter returns a writer for a ring with the given data capacity.
+func NewWriter(capacity int) *Writer {
+	if capacity <= 0 {
+		panic("ring: capacity must be positive")
+	}
+	return &Writer{capacity: uint64(capacity)}
+}
+
+// NewWriterAt returns a writer whose logical position starts at start —
+// used when a new writer takes over an existing ring (e.g. a new consensus
+// leader) and must continue exactly where the reader will look next. The
+// caller is responsible for the ring data being empty (zeroed) from the
+// reader's perspective.
+func NewWriterAt(capacity int, start uint64) *Writer {
+	w := NewWriter(capacity)
+	w.tail = start
+	w.cachedHead = start
+	return w
+}
+
+// Append places record (a complete codec-framed record) and returns the
+// remote writes to post. ok is false — and no state changes — when the ring
+// may be full given the cached head; the caller should remotely read the
+// head, call NoteHead, and retry.
+func (w *Writer) Append(record []byte) (writes []Write, ok bool) {
+	n := uint64(len(record))
+	if n == 0 || n > w.capacity/2 {
+		panic(fmt.Sprintf("ring: record size %d out of range for capacity %d", n, w.capacity))
+	}
+	tail := w.tail
+	pos := tail % w.capacity
+	boundary := w.capacity - pos
+	var skip uint64
+	var marker []byte
+	if n > boundary {
+		// Wrap: skip the remainder of the lap. A marker is written when
+		// there is room for its length word; shorter remainders are left
+		// zero and skipped implicitly by the reader.
+		skip = boundary
+		if boundary >= 4 {
+			marker = binary.LittleEndian.AppendUint32(nil, skipMarker)
+		}
+	}
+	if w.free() < skip+n {
+		return nil, false
+	}
+	if marker != nil {
+		writes = append(writes, Write{Off: HeaderSize + int(pos), Data: marker})
+	}
+	w.tail = tail + skip
+	writes = append(writes, Write{Off: HeaderSize + int(w.tail%w.capacity), Data: record})
+	w.tail += n
+	return writes, true
+}
+
+// free returns the bytes available under the cached head.
+func (w *Writer) free() uint64 { return w.capacity - (w.tail - w.cachedHead) }
+
+// Free reports the writer's current view of available space.
+func (w *Writer) Free() int { return int(w.free()) }
+
+// Tail returns the logical tail.
+func (w *Writer) Tail() uint64 { return w.tail }
+
+// NoteHead installs a freshly read head counter value. Stale (smaller)
+// values are ignored: the head is monotone.
+func (w *Writer) NoteHead(h uint64) {
+	if h > w.cachedHead {
+		w.cachedHead = h
+	}
+}
+
+// DecodeHead extracts the head counter from the first HeaderSize bytes of a
+// region (as returned by a remote read).
+func DecodeHead(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// Reader is the local-reader side of a ring, operating directly on the
+// region's memory.
+type Reader struct {
+	region   []byte // full region: header + data
+	capacity uint64
+	head     uint64
+}
+
+// NewReader returns a reader over region, which must have been sized with
+// RegionSize.
+func NewReader(region []byte) *Reader {
+	if len(region) <= HeaderSize {
+		panic("ring: region too small")
+	}
+	return &Reader{region: region, capacity: uint64(len(region) - HeaderSize)}
+}
+
+// Head returns the logical head (bytes consumed).
+func (r *Reader) Head() uint64 { return r.head }
+
+// Poll attempts to consume one record. It returns a copy of the record
+// (including framing) when one is complete, (nil, false, nil) when the ring
+// is empty or the next record's write is still in flight, and an error on
+// a corrupt layout. Consumed bytes are zeroed and the head counter in the
+// region header is advanced for the remote writer's flow control.
+func (r *Reader) Poll() ([]byte, bool, error) {
+	for {
+		data := r.region[HeaderSize:]
+		pos := r.head % r.capacity
+		boundary := r.capacity - pos
+		if boundary < 4 {
+			// Too small for a length word: always skipped by the writer.
+			r.advance(pos, boundary)
+			continue
+		}
+		lenWord := binary.LittleEndian.Uint32(data[pos:])
+		switch {
+		case lenWord == 0:
+			return nil, false, nil // empty (or record header in flight)
+		case lenWord == skipMarker:
+			r.advance(pos, boundary)
+			continue
+		}
+		n := uint64(lenWord)
+		if n > boundary || n > r.capacity/2 {
+			return nil, false, fmt.Errorf("%w: length %d at offset %d", ErrCorrupt, n, pos)
+		}
+		if data[pos+n-1] == 0 {
+			// Canary missing: record write in flight; retry later. (The
+			// canary byte is the last byte of every framed record and is
+			// non-zero by construction.)
+			return nil, false, nil
+		}
+		out := append([]byte(nil), data[pos:pos+n]...)
+		r.advance(pos, n)
+		return out, true, nil
+	}
+}
+
+// advance zeroes n bytes at pos, moves the head and publishes it in the
+// region header.
+func (r *Reader) advance(pos, n uint64) {
+	data := r.region[HeaderSize:]
+	for i := uint64(0); i < n; i++ {
+		data[pos+i] = 0
+	}
+	r.head += n
+	binary.LittleEndian.PutUint64(r.region, r.head)
+}

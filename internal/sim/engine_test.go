@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakInsertionOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Time
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("nested schedule trace = %v", trace)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(100, func() {
+		e.At(50, func() { // in the past
+			if e.Now() != 100 {
+				t.Errorf("past event ran at %d, want 100", e.Now())
+			}
+			ran = true
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(12)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(12) ran %d events, want 2", len(got))
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock = %d, want 12", e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("resumed run executed %d events, want 4", len(got))
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("clock = %d, want 500", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", count)
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("resume after Stop ran %d total, want 2", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	tk := e.NewTicker(10, func() { times = append(times, e.Now()) })
+	e.At(45, func() { tk.Cancel() })
+	e.Run()
+	if len(times) != 4 {
+		t.Fatalf("ticker fired %d times, want 4 (at 10,20,30,40): %v", len(times), times)
+	}
+	for i, at := range times {
+		if at != Time(10*(i+1)) {
+			t.Fatalf("tick %d at %d, want %d", i, at, 10*(i+1))
+		}
+	}
+}
+
+func TestTickerCancelFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	var tk *Ticker
+	tk = e.NewTicker(10, func() {
+		fires++
+		if fires == 2 {
+			tk.Cancel()
+		}
+	})
+	e.Run()
+	if fires != 2 {
+		t.Fatalf("ticker fired %d times after self-cancel, want 2", fires)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var out []int64
+		var rec func()
+		n := 0
+		rec = func() {
+			out = append(out, int64(e.Now()), e.Rand().Int63())
+			n++
+			if n < 50 {
+				e.After(Duration(1+e.Rand().Intn(100)), rec)
+			}
+		}
+		e.After(1, rec)
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCPUSerializesWork(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCPU(e)
+	var done []Time
+	e.At(0, func() {
+		c.Exec(10, func() { done = append(done, e.Now()) })
+		c.Exec(10, func() { done = append(done, e.Now()) })
+		c.Exec(5, func() { done = append(done, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 20, 25}
+	if len(done) != len(want) {
+		t.Fatalf("completions = %v, want %v", done, want)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if c.BusyTotal() != 25 {
+		t.Fatalf("busy total = %d, want 25", c.BusyTotal())
+	}
+}
+
+func TestCPUSuspendResume(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCPU(e)
+	ran := false
+	e.At(0, func() {
+		c.Suspend()
+		c.Exec(10, func() { ran = true })
+	})
+	e.RunUntil(100)
+	if ran {
+		t.Fatal("suspended CPU executed work")
+	}
+	c.Resume()
+	e.Run()
+	if !ran {
+		t.Fatal("resumed CPU did not execute queued work")
+	}
+	if e.Now() != 110 {
+		t.Fatalf("work completed at %d, want 110", e.Now())
+	}
+}
+
+func TestCPUZeroAndNegativeCost(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCPU(e)
+	n := 0
+	e.At(0, func() {
+		c.Exec(0, func() { n++ })
+		c.Exec(-5, func() { n++ })
+	})
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ran %d zero-cost tasks, want 2", n)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("zero-cost work advanced clock to %d", e.Now())
+	}
+}
+
+func TestEngineHeapStress(t *testing.T) {
+	// Push thousands of events in adversarial order and verify
+	// time-then-insertion ordering holds throughout.
+	e := NewEngine(5)
+	const n = 5000
+	type stamp struct {
+		at  Time
+		idx int
+	}
+	var fired []stamp
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(e.Rand().Intn(1000))
+		e.At(at, func() { fired = append(fired, stamp{e.Now(), i}) })
+	}
+	e.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatal("time ordering violated")
+		}
+		if fired[i].at == fired[i-1].at && fired[i].idx < fired[i-1].idx {
+			t.Fatal("insertion tie-break violated")
+		}
+	}
+}

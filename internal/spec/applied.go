@@ -1,0 +1,80 @@
+package spec
+
+// AppliedMap is the map A of §3.3: for each process p and update method u,
+// the number of calls on u issued by p that have been applied locally.
+// It is stored as a dense [process][method] matrix, exactly the integer
+// arrays the implementation section describes.
+type AppliedMap [][]uint32
+
+// NewAppliedMap returns a zeroed applied map for nprocs processes and
+// nmethods methods.
+func NewAppliedMap(nprocs, nmethods int) AppliedMap {
+	a := make(AppliedMap, nprocs)
+	for i := range a {
+		a[i] = make([]uint32, nmethods)
+	}
+	return a
+}
+
+// Get returns A(p, u).
+func (a AppliedMap) Get(p ProcID, u MethodID) uint32 { return a[p][u] }
+
+// Inc advances A(p, u) by one and returns the new count.
+func (a AppliedMap) Inc(p ProcID, u MethodID) uint32 {
+	a[p][u]++
+	return a[p][u]
+}
+
+// Set stores A(p, u) = n.
+func (a AppliedMap) Set(p ProcID, u MethodID, n uint32) { a[p][u] = n }
+
+// Clone deep-copies the map.
+func (a AppliedMap) Clone() AppliedMap {
+	b := make(AppliedMap, len(a))
+	for i := range a {
+		b[i] = append([]uint32(nil), a[i]...)
+	}
+	return b
+}
+
+// Project extracts the dependency record D = A|Dep(u) shipped with a call
+// on u: for every process, the applied counts of u's dependency methods in
+// DependsOn order. The result is the flattened [process][depIndex] vector
+// the implementation serializes as variable-sized dependency arrays.
+func (a AppliedMap) Project(deps []MethodID) DepVec {
+	if len(deps) == 0 {
+		return nil
+	}
+	d := make(DepVec, 0, len(a)*len(deps))
+	for p := range a {
+		for _, u := range deps {
+			d = append(d, a[p][u])
+		}
+	}
+	return d
+}
+
+// DepVec is a call's dependency record: applied counts of the call's
+// dependency methods, flattened as [process][depIndex]. A nil DepVec means
+// the call is dependence-free.
+type DepVec []uint32
+
+// Satisfies reports D ≤ A pointwise: every dependency count in d is covered
+// by the applied map. deps names the methods each column refers to.
+func (a AppliedMap) Satisfies(d DepVec, deps []MethodID) bool {
+	if len(d) == 0 {
+		return true
+	}
+	k := len(deps)
+	for p := range a {
+		for i, u := range deps {
+			if d[p*k+i] > a[p][u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the vector.
+func (d DepVec) Clone() DepVec { return append(DepVec(nil), d...) }

@@ -1,0 +1,158 @@
+package spec
+
+import "fmt"
+
+// CheckRelations validates a class's declared coordination relations
+// against their semantic definitions (§3.2) by randomized testing. It is
+// this repository's substitute for the paper's solver-aided Hamsaz
+// analysis: each declaration is a universally quantified claim over states,
+// and the checker samples states and calls looking for counterexamples.
+//
+// Checked claims, for random invariant-satisfying states σ and random calls:
+//
+//   - declared S-commute(c1,c2) ⇒ c2(c1(σ)) = c1(c2(σ))
+//   - declared invariant-sufficient(c) ⇒ P(σ, c)
+//   - declared c1 ▷_P c2 ⇒ (P(σ,c1) ⇒ P(c2(σ),c1))
+//   - declared c2 ◁_P c1 ⇒ (P(c1(σ),c2) ⇒ P(σ,c2))
+//   - call-level conflict ⇒ a method-level conflict edge exists
+//   - call-level dependency ⇒ a method-level dependency edge exists
+//   - Summarize(c1,c2)(σ) = c2(c1(σ)) and Identity is a no-op
+//   - generated states and the initial state satisfy the invariant
+//
+// It returns the first counterexample found, or nil.
+func CheckRelations(cls *Class, r Rand, iters int) error {
+	a, err := Analyze(cls)
+	if err != nil {
+		return err
+	}
+	updates := cls.UpdateMethods()
+	if len(updates) == 0 {
+		return fmt.Errorf("spec: %s declares no update methods", cls.Name)
+	}
+	if !cls.Invariant(cls.NewState()) {
+		return fmt.Errorf("spec: %s: initial state violates invariant", cls.Name)
+	}
+
+	hasConflictEdge := func(u, v MethodID) bool {
+		for _, w := range cls.ConflictsWith[u] {
+			if w == v {
+				return true
+			}
+		}
+		for _, w := range cls.ConflictsWith[v] {
+			if w == u {
+				return true
+			}
+		}
+		return false
+	}
+	hasDepEdge := func(u, v MethodID) bool {
+		for _, w := range a.DependsOn[u] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+
+	for it := 0; it < iters; it++ {
+		sigma := cls.Gen.State(r)
+		if !cls.Invariant(sigma) {
+			return fmt.Errorf("%s: generated state violates invariant (iter %d)", cls.Name, it)
+		}
+		u1 := updates[r.Intn(len(updates))]
+		u2 := updates[r.Intn(len(updates))]
+		c1 := cls.Gen.Call(r, u1)
+		c2 := cls.Gen.Call(r, u2)
+
+		// S-commutativity.
+		s12 := sigma.Clone()
+		cls.ApplyCall(s12, c1)
+		cls.ApplyCall(s12, c2)
+		s21 := sigma.Clone()
+		cls.ApplyCall(s21, c2)
+		cls.ApplyCall(s21, c1)
+		commutes := s12.Equal(s21)
+		if cls.Rel.SCommute(c1, c2) && !commutes {
+			return fmt.Errorf("%s: declared S-commute fails: %s vs %s on state (iter %d)",
+				cls.Name, c1.Format(cls), c2.Format(cls), it)
+		}
+
+		// Invariant sufficiency.
+		for _, c := range []Call{c1, c2} {
+			if cls.Rel.InvariantSufficient(c) && !cls.Permissible(sigma, c) {
+				return fmt.Errorf("%s: declared invariant-sufficient %s impermissible in I-state (iter %d)",
+					cls.Name, c.Format(cls), it)
+			}
+		}
+
+		// P-R-commutativity: P(σ,c1) ⇒ P(c2(σ),c1). The interposed call
+		// c2 must itself be permissible in σ — executions only ever apply
+		// permissible calls, and the relation is used to reason about them.
+		if cls.Rel.PRCommute(c1, c2) && cls.Permissible(sigma, c1) && cls.Permissible(sigma, c2) {
+			post2 := sigma.Clone()
+			cls.ApplyCall(post2, c2)
+			if !cls.Permissible(post2, c1) {
+				return fmt.Errorf("%s: declared ▷_P fails: %s after %s (iter %d)",
+					cls.Name, c1.Format(cls), c2.Format(cls), it)
+			}
+		}
+
+		// P-L-commutativity: P(c1(σ),c2) ⇒ P(σ,c2), for permissible c1.
+		if cls.Rel.PLCommute(c2, c1) && cls.Permissible(sigma, c1) {
+			post1 := sigma.Clone()
+			cls.ApplyCall(post1, c1)
+			if cls.Permissible(post1, c2) && !cls.Permissible(sigma, c2) {
+				return fmt.Errorf("%s: declared ◁_P fails: %s w.r.t. %s (iter %d)",
+					cls.Name, c2.Format(cls), c1.Format(cls), it)
+			}
+		}
+
+		// Call-level relations must be covered by method-level edges.
+		if cls.Rel.Conflict(c1, c2) && !hasConflictEdge(u1, u2) {
+			return fmt.Errorf("%s: calls %s, %s conflict but methods lack a conflict edge (iter %d)",
+				cls.Name, c1.Format(cls), c2.Format(cls), it)
+		}
+		if cls.Rel.Dependent(c2, c1) && !hasDepEdge(u2, u1) {
+			return fmt.Errorf("%s: %s depends on %s but Dep(%s) misses %s (iter %d)",
+				cls.Name, c2.Format(cls), c1.Format(cls),
+				cls.Methods[u2].Name, cls.Methods[u1].Name, it)
+		}
+
+		// Summarization: within each group, Summarize(ca, cb) ≡ cb ∘ ca,
+		// and Identity is neutral.
+		for _, g := range cls.SumGroups {
+			ca := cls.Gen.Call(r, g.Methods[r.Intn(len(g.Methods))])
+			cb := cls.Gen.Call(r, g.Methods[r.Intn(len(g.Methods))])
+			sum := g.Summarize(ca, cb)
+			if !inGroup(g, sum.Method) {
+				return fmt.Errorf("%s: group %q not closed: Summarize yields method %d (iter %d)",
+					cls.Name, g.Name, sum.Method, it)
+			}
+			direct := sigma.Clone()
+			cls.ApplyCall(direct, ca)
+			cls.ApplyCall(direct, cb)
+			viaSum := sigma.Clone()
+			cls.ApplyCall(viaSum, sum)
+			if !direct.Equal(viaSum) {
+				return fmt.Errorf("%s: Summarize(%s, %s) = %s is not their composition (iter %d)",
+					cls.Name, ca.Format(cls), cb.Format(cls), sum.Format(cls), it)
+			}
+			idState := sigma.Clone()
+			cls.ApplyCall(idState, g.Identity())
+			if !idState.Equal(sigma) {
+				return fmt.Errorf("%s: group %q Identity is not a no-op (iter %d)", cls.Name, g.Name, it)
+			}
+		}
+	}
+	return nil
+}
+
+func inGroup(g SumGroup, u MethodID) bool {
+	for _, m := range g.Methods {
+		if m == u {
+			return true
+		}
+	}
+	return false
+}

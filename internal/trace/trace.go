@@ -1,0 +1,140 @@
+// Package trace records structured per-call lifecycle events from the
+// Hamband runtime: when a call was issued and dispatched, when its summary
+// or buffer write landed, when each replica applied it, and when its
+// response resolved — all stamped with virtual time and the acting node.
+//
+// Tracing is opt-in (core.Options.Tracer) and costs one append per event
+// when enabled, nothing when disabled. `hambench -exp trace` prints sample
+// timelines; tests use the tracer to assert protocol-level orderings that
+// state-based assertions cannot see (e.g. a dependent call applying only
+// after its dependency on every node).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hamband/internal/sim"
+)
+
+// Event is one recorded lifecycle point.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+	Call string // request identity, e.g. "p0#3"; empty for node-level events
+	Note string
+}
+
+// Kind classifies lifecycle events.
+type Kind string
+
+// Lifecycle points recorded by the runtime.
+const (
+	Issue    Kind = "issue"     // client call accepted at a replica
+	Reject   Kind = "reject"    // permissibility rejection
+	Reduce   Kind = "reduce"    // summarized and remote-written (reducible)
+	FreeSend Kind = "free-send" // applied locally + broadcast (irreducible)
+	Order    Kind = "order"     // sequenced by the group leader (conflicting)
+	Apply    Kind = "apply"     // applied from a buffer at a replica
+	Adopt    Kind = "adopt"     // summary slot adopted at a replica
+	Complete Kind = "complete"  // response resolved at the origin
+	Suspect  Kind = "suspect"   // failure detector suspicion
+	Recover  Kind = "recover"   // recovery action (broadcast/summary/leader)
+)
+
+// Tracer is an append-only bounded event recorder. Not safe for concurrent
+// use; the simulation is single-threaded.
+type Tracer struct {
+	eng    *sim.Engine
+	events []Event
+	limit  int
+	drops  int
+}
+
+// New returns a tracer bound to eng holding at most limit events
+// (older events are retained; later ones are counted as dropped).
+func New(eng *sim.Engine, limit int) *Tracer {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	return &Tracer{eng: eng, limit: limit}
+}
+
+// Record appends an event stamped with the current virtual time.
+func (t *Tracer) Record(node int, kind Kind, call, note string) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.limit {
+		t.drops++
+		return
+	}
+	t.events = append(t.events, Event{At: t.eng.Now(), Node: node, Kind: kind, Call: call, Note: note})
+}
+
+// Events returns all recorded events in order.
+func (t *Tracer) Events() []Event { return t.events }
+
+// Dropped reports events lost to the limit.
+func (t *Tracer) Dropped() int { return t.drops }
+
+// Timeline returns the events of one call, in time order.
+func (t *Tracer) Timeline(call string) []Event {
+	var out []Event
+	for _, e := range t.events {
+		if e.Call == call {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Calls lists the distinct call identities seen, in first-seen order.
+func (t *Tracer) Calls() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range t.events {
+		if e.Call != "" && !seen[e.Call] {
+			seen[e.Call] = true
+			out = append(out, e.Call)
+		}
+	}
+	return out
+}
+
+// ByKind returns the events of one kind.
+func (t *Tracer) ByKind(kind Kind) []Event {
+	var out []Event
+	for _, e := range t.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Format writes the given calls' timelines (all calls when none given),
+// one line per event, with per-call relative times.
+func (t *Tracer) Format(w io.Writer, calls ...string) {
+	if len(calls) == 0 {
+		calls = t.Calls()
+	}
+	for _, call := range calls {
+		tl := t.Timeline(call)
+		if len(tl) == 0 {
+			continue
+		}
+		sort.SliceStable(tl, func(i, j int) bool { return tl[i].At < tl[j].At })
+		start := tl[0].At
+		fmt.Fprintf(w, "%s:\n", call)
+		for _, e := range tl {
+			fmt.Fprintf(w, "  +%-10v n%d %-10s %s\n",
+				sim.Duration(e.At-start), e.Node, e.Kind, e.Note)
+		}
+	}
+	if t.drops > 0 {
+		fmt.Fprintf(w, "(%d events dropped beyond the %d-event limit)\n", t.drops, t.limit)
+	}
+}

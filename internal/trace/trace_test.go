@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hamband/internal/sim"
+)
+
+func TestRecordAndTimeline(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 100)
+	eng.At(10, func() { tr.Record(0, Issue, "p0#1", "deposit") })
+	eng.At(20, func() { tr.Record(1, Apply, "p0#1", "free-app") })
+	eng.At(15, func() { tr.Record(0, Issue, "p0#2", "withdraw") })
+	eng.Run()
+	if len(tr.Events()) != 3 {
+		t.Fatalf("events = %d, want 3", len(tr.Events()))
+	}
+	tl := tr.Timeline("p0#1")
+	if len(tl) != 2 || tl[0].Kind != Issue || tl[1].Kind != Apply {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl[1].At != 20 {
+		t.Fatalf("apply at %d, want 20", tl[1].At)
+	}
+	calls := tr.Calls()
+	if len(calls) != 2 || calls[0] != "p0#1" {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(0, Issue, "x", "y") // must not panic
+}
+
+func TestLimitDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 2)
+	for i := 0; i < 5; i++ {
+		tr.Record(0, Issue, "c", "")
+	}
+	if len(tr.Events()) != 2 || tr.Dropped() != 3 {
+		t.Fatalf("events=%d dropped=%d", len(tr.Events()), tr.Dropped())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 10)
+	eng.At(1000, func() { tr.Record(0, Issue, "p0#1", "deposit") })
+	eng.At(2500, func() { tr.Record(2, Apply, "p0#1", "free-app") })
+	eng.Run()
+	var buf bytes.Buffer
+	tr.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"p0#1:", "issue", "apply", "n2", "+1.500µs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByKind(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 10)
+	tr.Record(0, Issue, "a", "")
+	tr.Record(0, Apply, "a", "")
+	tr.Record(1, Apply, "a", "")
+	if len(tr.ByKind(Apply)) != 2 {
+		t.Fatal("ByKind(Apply) wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package wrdt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hamband/internal/spec"
+)
+
+// Explorer drives random well-coordinated executions of the abstract
+// semantics: at each step it attempts either a fresh CALL at a random
+// process or the PROP of a pending call to a random process, retrying
+// against disabled transitions. It is the test harness for the paper's
+// integrity and convergence lemmas.
+type Explorer struct {
+	W    *World
+	rng  *rand.Rand
+	seqs []uint64
+	// calls lists every call accepted so far (for choosing PROP targets).
+	calls []spec.Call
+}
+
+// NewExplorer returns an explorer over a fresh world.
+func NewExplorer(cls *spec.Class, nprocs int, rng *rand.Rand) *Explorer {
+	return &Explorer{W: NewWorld(cls, nprocs), rng: rng, seqs: make([]uint64, nprocs)}
+}
+
+// TryCall attempts a random fresh update call at a random process and
+// reports whether a transition fired.
+func (e *Explorer) TryCall() bool {
+	ups := e.W.Class.UpdateMethods()
+	p := spec.ProcID(e.rng.Intn(e.W.NumProcs()))
+	u := ups[e.rng.Intn(len(ups))]
+	c := e.W.Class.Gen.Call(e.rng, u)
+	c.Proc = p
+	c.Seq = e.seqs[p] + 1
+	if err := e.W.Call(p, c); err != nil {
+		return false
+	}
+	e.seqs[p]++
+	e.calls = append(e.calls, c)
+	return true
+}
+
+// TryProp attempts to propagate a random pending call to a random process
+// missing it, and reports whether a transition fired.
+func (e *Explorer) TryProp() bool {
+	if len(e.calls) == 0 {
+		return false
+	}
+	// Collect (call, proc) pairs where the call is still missing.
+	type pending struct {
+		c spec.Call
+		p spec.ProcID
+	}
+	var opts []pending
+	for _, c := range e.calls {
+		for p := 0; p < e.W.NumProcs(); p++ {
+			if spec.ProcID(p) != c.Proc && !e.W.Executed(spec.ProcID(p), c) {
+				opts = append(opts, pending{c, spec.ProcID(p)})
+			}
+		}
+	}
+	if len(opts) == 0 {
+		return false
+	}
+	pick := opts[e.rng.Intn(len(opts))]
+	return e.W.Prop(pick.p, pick.c) == nil
+}
+
+// Step performs one random transition attempt, biased toward calls with
+// probability callBias in [0,1].
+func (e *Explorer) Step(callBias float64) {
+	if e.rng.Float64() < callBias {
+		if !e.TryCall() {
+			e.TryProp()
+		}
+		return
+	}
+	if !e.TryProp() {
+		e.TryCall()
+	}
+}
+
+// Drain propagates until every call has reached every process. It returns
+// an error if propagation gets stuck, which would indicate the transition
+// system deadlocks (it must not: enabled PROPs always exist in a
+// well-coordinated execution once calls stop).
+func (e *Explorer) Drain() error {
+	for !e.W.FullyPropagated() {
+		progressed := false
+		for _, c := range e.calls {
+			for p := 0; p < e.W.NumProcs(); p++ {
+				if spec.ProcID(p) == c.Proc || e.W.Executed(spec.ProcID(p), c) {
+					continue
+				}
+				if e.W.Prop(spec.ProcID(p), c) == nil {
+					progressed = true
+				}
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("wrdt: drain stuck with %d calls", len(e.calls))
+		}
+	}
+	return nil
+}
+
+// Calls returns every call accepted so far.
+func (e *Explorer) Calls() []spec.Call { return e.calls }

@@ -1,0 +1,253 @@
+// Package wrdt implements the paper's abstract operational semantics of
+// well-coordinated replicated data types (§3.2, Figure 5) as an executable
+// transition system.
+//
+// A world holds the replicated state ss (a state per process) and the
+// replicated execution xs (a history of update calls per process). The
+// three transitions are:
+//
+//   - Call: a process accepts and executes a new update call, subject to
+//     local permissibility and conflict synchronization;
+//   - Prop: a process applies a call previously executed elsewhere, subject
+//     to conflict synchronization and dependency preservation;
+//   - Query: a process evaluates a query against its current state.
+//
+// The executable rules serve two purposes: they are the specification
+// against which the concrete RDMA semantics (package rdmawrdt) is checked
+// for refinement (Lemma 3), and they let property tests validate the
+// paper's integrity and convergence lemmas (Lemmas 1 and 2) on random
+// executions.
+package wrdt
+
+import (
+	"fmt"
+
+	"hamband/internal/spec"
+)
+
+// key identifies a request.
+type key struct {
+	p spec.ProcID
+	r uint64
+}
+
+func callKey(c spec.Call) key { return key{c.Proc, c.Seq} }
+
+// World is the state ⟨ss, xs⟩ of the abstract semantics.
+type World struct {
+	Class  *spec.Class
+	States []spec.State  // ss: per-process object state
+	Hists  [][]spec.Call // xs: per-process execution history
+
+	present []map[key]bool // per-process membership index over Hists
+}
+
+// NewWorld returns the initial world W0: every process holds the initial
+// state σ0 and an empty history.
+func NewWorld(cls *spec.Class, nprocs int) *World {
+	w := &World{Class: cls}
+	for i := 0; i < nprocs; i++ {
+		w.States = append(w.States, cls.NewState())
+		w.Hists = append(w.Hists, nil)
+		w.present = append(w.present, make(map[key]bool))
+	}
+	return w
+}
+
+// NumProcs returns the number of processes.
+func (w *World) NumProcs() int { return len(w.States) }
+
+// Executed reports whether process p has executed call c.
+func (w *World) Executed(p spec.ProcID, c spec.Call) bool {
+	return w.present[p][callKey(c)]
+}
+
+// callConfSync checks the CALL rule's side condition: every call executed
+// at any process that conflicts with c has already been executed at p.
+func (w *World) callConfSync(p spec.ProcID, c spec.Call) error {
+	for p2 := range w.Hists {
+		if spec.ProcID(p2) == p {
+			continue
+		}
+		for _, c2 := range w.Hists[p2] {
+			if w.present[p][callKey(c2)] {
+				continue
+			}
+			if w.Class.Rel.Conflict(c2, c) {
+				return fmt.Errorf("wrdt: CallConfSync: %s at p%d conflicts with new %s and is missing at p%d",
+					c2.Format(w.Class), p2, c.Format(w.Class), p)
+			}
+		}
+	}
+	return nil
+}
+
+// propConfSync checks the PROP rule's conflict condition: every call that
+// precedes c in some history and conflicts with c has already been executed
+// at p.
+func (w *World) propConfSync(p spec.ProcID, c spec.Call) error {
+	ck := callKey(c)
+	for p2 := range w.Hists {
+		if spec.ProcID(p2) == p {
+			continue
+		}
+		for _, c2 := range w.Hists[p2] {
+			if callKey(c2) == ck {
+				break // reached c itself: later calls do not precede it here
+			}
+			if w.present[p][callKey(c2)] {
+				continue
+			}
+			if w.Class.Rel.Conflict(c2, c) {
+				return fmt.Errorf("wrdt: PropConfSync: %s precedes %s at p%d and is missing at p%d",
+					c2.Format(w.Class), c.Format(w.Class), p2, p)
+			}
+		}
+	}
+	return nil
+}
+
+// propDepPres checks the PROP rule's dependency condition: every call that
+// precedes c in c's issuing process and that c depends on has already been
+// executed at p.
+func (w *World) propDepPres(p spec.ProcID, c spec.Call) error {
+	ck := callKey(c)
+	for _, c2 := range w.Hists[c.Proc] {
+		if callKey(c2) == ck {
+			break
+		}
+		if w.present[p][callKey(c2)] {
+			continue
+		}
+		if w.Class.Rel.Dependent(c, c2) {
+			return fmt.Errorf("wrdt: PropDepPres: %s depends on preceding %s, missing at p%d",
+				c.Format(w.Class), c2.Format(w.Class), p)
+		}
+	}
+	return nil
+}
+
+// Call attempts rule CALL: process p accepts and executes the new update
+// call c. It returns a non-nil error, leaving the world unchanged, if any
+// side condition fails.
+func (w *World) Call(p spec.ProcID, c spec.Call) error {
+	if c.Proc != p {
+		return fmt.Errorf("wrdt: CALL at p%d of a call issued at p%d", p, c.Proc)
+	}
+	if w.present[p][callKey(c)] {
+		return fmt.Errorf("wrdt: duplicate request %s", c.Format(w.Class))
+	}
+	if !w.Class.Permissible(w.States[p], c) {
+		return fmt.Errorf("wrdt: CALL %s not locally permissible at p%d", c.Format(w.Class), p)
+	}
+	if err := w.callConfSync(p, c); err != nil {
+		return err
+	}
+	w.apply(p, c)
+	return nil
+}
+
+// Prop attempts rule PROP: process p applies the call c that was executed
+// at its issuing process earlier. It returns a non-nil error, leaving the
+// world unchanged, if any side condition fails.
+func (w *World) Prop(p spec.ProcID, c spec.Call) error {
+	if c.Proc == p {
+		return fmt.Errorf("wrdt: PROP of %s to its own issuer", c.Format(w.Class))
+	}
+	if !w.present[c.Proc][callKey(c)] {
+		return fmt.Errorf("wrdt: PROP of %s before its issuer executed it", c.Format(w.Class))
+	}
+	if w.present[p][callKey(c)] {
+		return fmt.Errorf("wrdt: PROP duplicate %s at p%d", c.Format(w.Class), p)
+	}
+	if err := w.propConfSync(p, c); err != nil {
+		return err
+	}
+	if err := w.propDepPres(p, c); err != nil {
+		return err
+	}
+	w.apply(p, c)
+	return nil
+}
+
+// Query executes rule QUERY: evaluate query method q with args at p.
+func (w *World) Query(p spec.ProcID, q spec.MethodID, args spec.Args) any {
+	return w.Class.Methods[q].Eval(w.States[p], args)
+}
+
+func (w *World) apply(p spec.ProcID, c spec.Call) {
+	w.Class.ApplyCall(w.States[p], c)
+	w.Hists[p] = append(w.Hists[p], c)
+	w.present[p][callKey(c)] = true
+}
+
+// CheckIntegrity verifies Lemma 1 on the current world: the invariant holds
+// at every process.
+func (w *World) CheckIntegrity() error {
+	for p, s := range w.States {
+		if !w.Class.Invariant(s) {
+			return fmt.Errorf("wrdt: integrity violated at p%d", p)
+		}
+	}
+	return nil
+}
+
+// CheckConvergence verifies Lemma 2 on the current world: any two processes
+// with equivalent histories (the same set of calls) have equal states.
+func (w *World) CheckConvergence() error {
+	for p := 0; p < len(w.States); p++ {
+		for q := p + 1; q < len(w.States); q++ {
+			if !sameCallSet(w.present[p], w.present[q]) {
+				continue
+			}
+			if !w.States[p].Equal(w.States[q]) {
+				return fmt.Errorf("wrdt: p%d and p%d applied the same calls but diverged", p, q)
+			}
+		}
+	}
+	return nil
+}
+
+// FullyPropagated reports whether every call has reached every process.
+func (w *World) FullyPropagated() bool {
+	distinct := make(map[key]bool)
+	for _, m := range w.present {
+		for k := range m {
+			distinct[k] = true
+		}
+	}
+	for _, m := range w.present {
+		if len(m) != len(distinct) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameCallSet(a, b map[key]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the world; the exhaustive model checker forks worlds
+// at every scheduling choice point.
+func (w *World) Clone() *World {
+	c := &World{Class: w.Class}
+	for i := range w.States {
+		c.States = append(c.States, w.States[i].Clone())
+		c.Hists = append(c.Hists, append([]spec.Call(nil), w.Hists[i]...))
+		m := make(map[key]bool, len(w.present[i]))
+		for k := range w.present[i] {
+			m[k] = true
+		}
+		c.present = append(c.present, m)
+	}
+	return c
+}

@@ -1,0 +1,187 @@
+package wrdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"hamband/internal/crdt"
+	"hamband/internal/schema"
+	"hamband/internal/spec"
+)
+
+func dep(amount int64, p spec.ProcID, seq uint64) spec.Call {
+	return spec.Call{Method: crdt.AccountDeposit, Args: spec.ArgsI(amount), Proc: p, Seq: seq}
+}
+
+func wdr(amount int64, p spec.ProcID, seq uint64) spec.Call {
+	return spec.Call{Method: crdt.AccountWithdraw, Args: spec.ArgsI(amount), Proc: p, Seq: seq}
+}
+
+func TestCallRequiresLocalPermissibility(t *testing.T) {
+	w := NewWorld(crdt.NewAccount(), 2)
+	if err := w.Call(0, wdr(5, 0, 1)); err == nil {
+		t.Fatal("overdrafting CALL accepted")
+	}
+	if err := w.Call(0, dep(5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Call(0, wdr(5, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallConfSyncBlocksRacingWithdraws(t *testing.T) {
+	// The paper's §2 scenario: both processes hold balance 10 (via a
+	// propagated deposit); each tries to withdraw 10. After p0's withdraw,
+	// p1 must not accept its own conflicting withdraw until p0's reaches it.
+	w := NewWorld(crdt.NewAccount(), 2)
+	mustOK(t, w.Call(0, dep(10, 0, 1)))
+	mustOK(t, w.Prop(1, dep(10, 0, 1)))
+	mustOK(t, w.Call(0, wdr(10, 0, 2)))
+	if err := w.Call(1, wdr(10, 1, 1)); err == nil {
+		t.Fatal("conflicting concurrent withdraw accepted; would overdraft after propagation")
+	}
+	// Once p0's withdraw propagates, p1's (now impermissible) withdraw is
+	// rejected by the permissibility check instead.
+	mustOK(t, w.Prop(1, wdr(10, 0, 2)))
+	if err := w.Call(1, wdr(10, 1, 1)); err == nil {
+		t.Fatal("overdrafting withdraw accepted after propagation")
+	}
+}
+
+func TestPropDepPresBlocksWithdrawBeforeDeposit(t *testing.T) {
+	// §2: a withdraw issued after a deposit must not reach another process
+	// before the deposit it depends on.
+	w := NewWorld(crdt.NewAccount(), 2)
+	mustOK(t, w.Call(0, dep(10, 0, 1)))
+	mustOK(t, w.Call(0, wdr(10, 0, 2)))
+	if err := w.Prop(1, wdr(10, 0, 2)); err == nil {
+		t.Fatal("withdraw propagated before the deposit it depends on")
+	}
+	mustOK(t, w.Prop(1, dep(10, 0, 1)))
+	mustOK(t, w.Prop(1, wdr(10, 0, 2)))
+	if err := w.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConfSyncOrdersConflicts(t *testing.T) {
+	// Two conflicting withdraws executed in order at p0 must propagate to
+	// p1 in the same order.
+	w := NewWorld(crdt.NewAccount(), 3)
+	mustOK(t, w.Call(0, dep(10, 0, 1)))
+	mustOK(t, w.Prop(1, dep(10, 0, 1)))
+	mustOK(t, w.Prop(2, dep(10, 0, 1)))
+	mustOK(t, w.Call(0, wdr(3, 0, 2)))
+	mustOK(t, w.Call(0, wdr(3, 0, 3)))
+	if err := w.Prop(1, wdr(3, 0, 3)); err == nil {
+		t.Fatal("second conflicting withdraw propagated before the first")
+	}
+	mustOK(t, w.Prop(1, wdr(3, 0, 2)))
+	mustOK(t, w.Prop(1, wdr(3, 0, 3)))
+}
+
+func TestPropRejectsUnknownAndDuplicate(t *testing.T) {
+	w := NewWorld(crdt.NewAccount(), 2)
+	if err := w.Prop(1, dep(1, 0, 1)); err == nil {
+		t.Fatal("PROP of a call its issuer never executed")
+	}
+	mustOK(t, w.Call(0, dep(1, 0, 1)))
+	mustOK(t, w.Prop(1, dep(1, 0, 1)))
+	if err := w.Prop(1, dep(1, 0, 1)); err == nil {
+		t.Fatal("duplicate PROP accepted")
+	}
+	if err := w.Prop(0, dep(1, 0, 1)); err == nil {
+		t.Fatal("PROP to the issuer accepted")
+	}
+}
+
+func TestCallRejectsForeignAndDuplicate(t *testing.T) {
+	w := NewWorld(crdt.NewAccount(), 2)
+	if err := w.Call(1, dep(1, 0, 1)); err == nil {
+		t.Fatal("CALL at a process other than the issuer accepted")
+	}
+	mustOK(t, w.Call(0, dep(1, 0, 1)))
+	if err := w.Call(0, dep(1, 0, 1)); err == nil {
+		t.Fatal("duplicate CALL accepted")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	w := NewWorld(crdt.NewAccount(), 2)
+	mustOK(t, w.Call(0, dep(7, 0, 1)))
+	if got := w.Query(0, crdt.AccountBalance, spec.Args{}); got.(int64) != 7 {
+		t.Fatalf("balance at p0 = %v, want 7", got)
+	}
+	if got := w.Query(1, crdt.AccountBalance, spec.Args{}); got.(int64) != 0 {
+		t.Fatalf("balance at p1 = %v, want 0 before propagation", got)
+	}
+}
+
+// TestLemmasOnRandomExecutions validates Lemma 1 (integrity) and Lemma 2
+// (convergence) over random well-coordinated executions of every data type.
+func TestLemmasOnRandomExecutions(t *testing.T) {
+	classes := []*spec.Class{
+		crdt.NewCounter(), crdt.NewLWW(), crdt.NewGSet(), crdt.NewORSet(),
+		crdt.NewCart(), crdt.NewAccount(), crdt.NewBankMap(), crdt.NewPNCounter(), crdt.NewTwoPSet(), crdt.NewRGA(), crdt.NewLWWMap(), crdt.NewMVRegister(3),
+		schema.NewProjectManagement(), schema.NewCourseware(), schema.NewMovie(), schema.NewAuction(), schema.NewTournament(),
+	}
+	for _, cls := range classes {
+		cls := cls
+		t.Run(cls.Name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				e := NewExplorer(cls, 3, rng)
+				for step := 0; step < 200; step++ {
+					e.Step(0.5)
+					if err := e.W.CheckIntegrity(); err != nil {
+						t.Fatalf("trial %d step %d: %v", trial, step, err)
+					}
+					if err := e.W.CheckConvergence(); err != nil {
+						t.Fatalf("trial %d step %d: %v", trial, step, err)
+					}
+				}
+				if err := e.Drain(); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if err := e.W.CheckConvergence(); err != nil {
+					t.Fatalf("trial %d after drain: %v", trial, err)
+				}
+				// After full propagation all states must be equal.
+				for p := 1; p < e.W.NumProcs(); p++ {
+					if !e.W.States[0].Equal(e.W.States[p]) {
+						t.Fatalf("trial %d: final states diverged", trial)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConvergenceCatchesDivergence sanity-checks the checker itself using a
+// deliberately broken data type (non-commutative overwrite declared as
+// commutative).
+func TestConvergenceCatchesDivergence(t *testing.T) {
+	cls := crdt.NewCounter()
+	cls.Methods[crdt.CounterAdd].Apply = func(s spec.State, a spec.Args) {
+		s.(*crdt.CounterState).V = a.I[0] // overwrite: not commutative
+	}
+	cls.SumGroups = nil
+	w := NewWorld(cls, 2)
+	a := spec.Call{Method: crdt.CounterAdd, Args: spec.ArgsI(1), Proc: 0, Seq: 1}
+	b := spec.Call{Method: crdt.CounterAdd, Args: spec.ArgsI(2), Proc: 1, Seq: 1}
+	mustOK(t, w.Call(0, a))
+	mustOK(t, w.Call(1, b))
+	mustOK(t, w.Prop(1, a))
+	mustOK(t, w.Prop(0, b))
+	if err := w.CheckConvergence(); err == nil {
+		t.Fatal("checker missed a divergence")
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
