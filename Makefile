@@ -1,0 +1,33 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test vet race bench fuzz check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full pre-merge gate: tier-1 build + tests, static analysis,
+# the race detector, and a short fuzz budget over the wire-format parsers.
+check: build vet test race fuzz
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics ./internal/ring
+
+# Each fuzz target gets a short fixed budget; go test only allows one
+# -fuzz pattern per package invocation.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReaderPoll -fuzztime=$(FUZZTIME) ./internal/ring
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeEntry -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeSlot -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeRaw -fuzztime=$(FUZZTIME) ./internal/codec

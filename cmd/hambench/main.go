@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis]
-//	         [-ops N] [-seed N]
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics]
+//	         [-ops N] [-seed N] [-metrics-json FILE] [-chrome-trace FILE]
+//
+// The metrics experiment runs one fully instrumented workload and prints
+// the percentile report; -metrics-json additionally dumps the raw registry
+// snapshot as JSON, and -chrome-trace writes a chrome://tracing file of the
+// recorded call lifecycles.
 //
 // The -ops flag plays the role of the paper's 4 M operations per
 // experiment point; the default (20000) keeps a full-suite run to roughly a
@@ -16,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hamband/internal/bench"
@@ -25,9 +31,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, costs, trace, overview, analysis")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, costs, trace, overview, analysis, metrics")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
+	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
+	chromeTrace := flag.String("chrome-trace", "", "write a chrome://tracing event file for the metrics experiment to FILE")
 	flag.Parse()
 
 	cfg := bench.Config{Ops: *ops, Seed: *seed, Out: os.Stdout}
@@ -55,6 +63,8 @@ func main() {
 		cfg.Trace()
 	case "overview":
 		cfg.Overview()
+	case "metrics":
+		cfg.Metrics(fileWriter(*metricsJSON), fileWriter(*chromeTrace))
 	case "analysis":
 		printAnalyses()
 	default:
@@ -62,6 +72,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// fileWriter opens path for writing, or returns nil when no path was given
+// so the corresponding export is skipped. The file is closed on exit.
+func fileWriter(path string) io.Writer {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+		os.Exit(1)
+	}
+	return f
 }
 
 // printAnalyses prints the coordination analysis of every use-case: the

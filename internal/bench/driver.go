@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 
+	"hamband/internal/metrics"
 	"hamband/internal/sim"
 	"hamband/internal/spec"
 )
@@ -53,9 +55,23 @@ type Result struct {
 	ByMethod map[string]MethodStat
 	TimedOut bool // replication barrier not reached before the deadline
 
+	// Metrics holds the run's registry when the system was built with
+	// BuildWithMetrics; nil for uninstrumented runs.
+	Metrics *metrics.Registry
+
 	// rtSamples is a uniform reservoir of response times for percentiles.
 	rtSamples []sim.Duration
 	rtSeen    int
+}
+
+// WriteMetricsReport writes the registry's percentile table (p50/p95/p99
+// per histogram, then counters and gauges). It writes nothing for an
+// uninstrumented run.
+func (r *Result) WriteMetricsReport(w io.Writer) {
+	if !r.Metrics.Enabled() {
+		return
+	}
+	r.Metrics.WriteTable(w)
 }
 
 // reservoirSize bounds percentile memory.

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"hamband/internal/crdt"
+	"hamband/internal/metrics"
 	"hamband/internal/schema"
 	"hamband/internal/sim"
 	"hamband/internal/spec"
@@ -34,6 +37,63 @@ func TestDriverCompletesAllSystems(t *testing.T) {
 		if res.Throughput() <= 0 || res.MeanRT <= 0 {
 			t.Fatalf("%s: degenerate metrics %+v", res.System, res)
 		}
+	}
+}
+
+// TestDriverMetricsReport is the observability acceptance check: an
+// instrumented run's report contains p50/p95/p99 call latency per category
+// and per-QP verb counters.
+func TestDriverMetricsReport(t *testing.T) {
+	eng := sim.NewEngine(99)
+	// The bank map mixes all three update categories (open is reducible,
+	// deposit irreducible conflict-free, withdraw conflicting).
+	an := spec.MustAnalyze(crdt.NewBankMap())
+	reg := metrics.New(eng)
+	sys, err := BuildWithMetrics(Hamband, eng, 3, an, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := NewWorkload(an, 3, 600, 0.5, 7)
+	res := Run(eng, sys, wl)
+	if res.TimedOut {
+		t.Fatal("instrumented run timed out")
+	}
+	res.Metrics = reg
+
+	var buf bytes.Buffer
+	res.WriteMetricsReport(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"p50", "p95", "p99",
+		"core.call.reduce", "core.call.free", "core.call.conf", "core.call.query",
+		"rdma.qp.0-1.writes", "rdma.qp.0-1.write_latency", "rdma.qp.1-0.bytes_written",
+		"core.queue.free_depth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics report missing %q:\n%s", want, out)
+		}
+	}
+	// The report must carry real measurements, not just headings: the
+	// project-management workload exercises every category.
+	snap := reg.Snapshot()
+	for _, h := range []string{"core.call.reduce", "core.call.free", "core.call.conf", "core.call.query"} {
+		hs, ok := snap.Histograms[h]
+		if !ok || hs.Count == 0 {
+			t.Fatalf("histogram %s recorded no observations", h)
+		}
+		if hs.P50NS <= 0 || hs.P99NS < hs.P50NS {
+			t.Fatalf("histogram %s has degenerate quantiles: %+v", h, hs)
+		}
+	}
+	if snap.Counters["rdma.qp.0-1.writes"] == 0 {
+		t.Fatal("per-QP write counter recorded nothing")
+	}
+
+	// An uninstrumented Result writes nothing.
+	var empty bytes.Buffer
+	(&Result{}).WriteMetricsReport(&empty)
+	if empty.Len() != 0 {
+		t.Fatalf("uninstrumented report not empty: %q", empty.String())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"hamband/internal/baseline/msgcrdt"
 	"hamband/internal/core"
 	"hamband/internal/crdt"
+	"hamband/internal/metrics"
 	"hamband/internal/msgnet"
 	"hamband/internal/rdma"
 	"hamband/internal/schema"
@@ -463,6 +464,50 @@ func (cfg Config) Trace() {
 	cfg.printf("\nfailure handling events:\n")
 	for _, e := range tr.ByKind(trace.Suspect) {
 		cfg.printf("  t=%-10v n%d %s\n", sim.Duration(e.At), e.Node, e.Note)
+	}
+	cfg.printf("\n")
+}
+
+// Metrics runs one fully instrumented Hamband workload — the bank map
+// mixes all three update-method categories — and prints
+// the registry's percentile report: p50/p95/p99 latency per call category,
+// per-QP verb counters and bytes, and the protocol health counters
+// (broadcast retries, commit latency, suspicions). When jsonOut is non-nil
+// the raw snapshot is written there as JSON; when chromeOut is non-nil a
+// Chrome trace-event file of the first calls' lifecycles is written there.
+func (cfg Config) Metrics(jsonOut, chromeOut io.Writer) {
+	eng := sim.NewEngine(cfg.Seed)
+	an := spec.MustAnalyze(crdt.NewBankMap())
+	reg := metrics.New(eng)
+	fab := rdma.NewFabric(eng, 4, rdma.DefaultLatency())
+	fab.EnableMetrics(reg)
+	opts := core.DefaultOptions()
+	opts.Metrics = reg
+	var tr *trace.Tracer
+	if chromeOut != nil {
+		tr = trace.New(eng, 1<<16)
+		opts.Tracer = tr
+	}
+	sys := &hambandSystem{c: core.NewCluster(fab, an, opts)}
+	ops := cfg.Ops / 4
+	if ops < 500 {
+		ops = 500
+	}
+	wl := NewWorkload(an, 4, ops, 0.5, cfg.Seed+1)
+	res := Run(eng, sys, wl)
+	res.Metrics = reg
+
+	cfg.printf("Metrics report — %s\n\n", res)
+	res.WriteMetricsReport(cfg.Out)
+	if jsonOut != nil {
+		if err := reg.WriteJSON(jsonOut); err != nil {
+			cfg.printf("metrics: JSON export failed: %v\n", err)
+		}
+	}
+	if chromeOut != nil {
+		if err := tr.WriteChromeTrace(chromeOut); err != nil {
+			cfg.printf("metrics: chrome trace export failed: %v\n", err)
+		}
 	}
 	cfg.printf("\n")
 }

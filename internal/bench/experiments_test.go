@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -29,6 +30,35 @@ func TestAllExperimentsSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestMetricsExperiment exercises the instrumented experiment end to end:
+// the percentile table on Out, the JSON snapshot, and the Chrome trace.
+func TestMetricsExperiment(t *testing.T) {
+	var out, jsonBuf, chromeBuf bytes.Buffer
+	cfg := Config{Ops: 400, Seed: 3, Out: &out}
+	cfg.Metrics(&jsonBuf, &chromeBuf)
+
+	for _, want := range []string{"p50", "p95", "p99", "core.call.reduce", "core.call.conf", "rdma.qp.0-1.writes"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(jsonBuf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Fatalf("metrics JSON missing counters: %s", jsonBuf.String())
+	}
+	var tr map[string]any
+	if err := json.Unmarshal(chromeBuf.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace JSON invalid: %v", err)
+	}
+	events, ok := tr["traceEvents"].([]any)
+	if !ok || len(events) == 0 {
+		t.Fatal("chrome trace has no events")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"hamband/internal/baseline/msgcrdt"
 	"hamband/internal/baseline/smr"
 	"hamband/internal/core"
+	"hamband/internal/metrics"
 	"hamband/internal/msgnet"
 	"hamband/internal/rdma"
 	"hamband/internal/sim"
@@ -66,10 +67,24 @@ func (k SystemKind) String() string {
 // fresh engine. The MSG baseline refuses classes with conflicting methods
 // (as in the paper, it only runs the CRDT use-cases).
 func Build(kind SystemKind, eng *sim.Engine, n int, an *spec.Analysis) (System, error) {
+	return BuildWithMetrics(kind, eng, n, an, nil)
+}
+
+// BuildWithMetrics constructs a system with a metrics registry attached:
+// per-QP verb instruments on the fabric plus the runtime's protocol
+// instruments. A nil registry reproduces Build exactly. The MSG baseline
+// runs over the message-passing network, which has no RDMA fabric to
+// instrument; it accepts the registry but records nothing.
+func BuildWithMetrics(kind SystemKind, eng *sim.Engine, n int, an *spec.Analysis, reg *metrics.Registry) (System, error) {
 	switch kind {
 	case Hamband:
 		fab := rdma.NewFabric(eng, n, rdma.DefaultLatency())
-		return &hambandSystem{c: core.NewCluster(fab, an, core.DefaultOptions())}, nil
+		opts := core.DefaultOptions()
+		if reg.Enabled() {
+			fab.EnableMetrics(reg)
+			opts.Metrics = reg
+		}
+		return &hambandSystem{c: core.NewCluster(fab, an, opts)}, nil
 	case MSG:
 		net := msgnet.New(eng, n, msgnet.DefaultCost())
 		c, err := msgcrdt.NewCluster(net, an, msgcrdt.DefaultOptions())
@@ -79,7 +94,13 @@ func Build(kind SystemKind, eng *sim.Engine, n int, an *spec.Analysis) (System, 
 		return &msgSystem{c: c}, nil
 	case MuSMR:
 		fab := rdma.NewFabric(eng, n, rdma.DefaultLatency())
-		return &smrSystem{c: smr.NewCluster(fab, an, smr.DefaultOptions())}, nil
+		opts := smr.DefaultOptions()
+		if reg.Enabled() {
+			fab.EnableMetrics(reg)
+			opts.Mu.Metrics = reg
+			opts.Heartbeat.Metrics = reg
+		}
+		return &smrSystem{c: smr.NewCluster(fab, an, opts)}, nil
 	default:
 		return nil, fmt.Errorf("bench: unknown system kind %d", kind)
 	}

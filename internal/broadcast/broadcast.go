@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"hamband/internal/codec"
+	"hamband/internal/metrics"
 	"hamband/internal/rdma"
 	"hamband/internal/ring"
 	"hamband/internal/sim"
@@ -46,6 +47,10 @@ type Config struct {
 	RetryDelay   sim.Duration // writer retry delay when a ring is full
 	PollCost     sim.Duration // CPU cost of one poll sweep
 	DeliverCost  sim.Duration // CPU cost of delivering one message
+
+	// Metrics, when non-nil, receives protocol counters (ring-full
+	// retries, backup-slot recoveries). Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns sizes suited to the benchmark workloads.
@@ -106,6 +111,10 @@ type Broadcaster struct {
 	peers []*peerChan
 	// waiting holds broadcasts blocked on a free backup slot.
 	waiting []pendingMsg
+
+	mRetries   *metrics.Counter // head-refresh retries on a full remote ring
+	mHeadReads *metrics.Counter // remote head-counter reads
+	mSlotWaits *metrics.Counter // broadcasts queued waiting for a backup slot
 }
 
 type pendingMsg struct {
@@ -127,11 +136,14 @@ type peerChan struct {
 // NewBroadcaster creates the source side on node. Setup must have run.
 func NewBroadcaster(fab *rdma.Fabric, node *rdma.Node, cfg Config) *Broadcaster {
 	b := &Broadcaster{
-		fab:    fab,
-		node:   node,
-		cfg:    cfg,
-		backup: node.Region(cfg.backupRegion()),
-		slots:  make([]uint64, cfg.BackupSlots),
+		fab:        fab,
+		node:       node,
+		cfg:        cfg,
+		backup:     node.Region(cfg.backupRegion()),
+		slots:      make([]uint64, cfg.BackupSlots),
+		mRetries:   cfg.Metrics.Counter("broadcast.ring_full_retries"),
+		mHeadReads: cfg.Metrics.Counter("broadcast.head_reads"),
+		mSlotWaits: cfg.Metrics.Counter("broadcast.backup_slot_waits"),
 	}
 	for i := 0; i < fab.Size(); i++ {
 		peer := rdma.NodeID(i)
@@ -161,6 +173,7 @@ func (b *Broadcaster) Broadcast(payload []byte, onDone func()) error {
 	slot := int(pm.seq) % b.cfg.BackupSlots
 	if b.slots[slot] != 0 {
 		// Slot occupied by an older in-flight broadcast: queue until free.
+		b.mSlotWaits.Inc()
 		b.waiting = append(b.waiting, *pm)
 		return nil
 	}
@@ -220,6 +233,7 @@ func (b *Broadcaster) refreshHead(pc *peerChan) {
 		return
 	}
 	pc.reading = true
+	b.mHeadReads.Inc()
 	pc.qp.Read(b.cfg.inRegion(b.node.ID()), 0, ring.HeaderSize, func(data []byte, err error) {
 		pc.reading = false
 		if err != nil {
@@ -234,6 +248,7 @@ func (b *Broadcaster) refreshHead(pc *peerChan) {
 		pc.w.NoteHead(ring.DecodeHead(data))
 		if pc.w.Free() == before {
 			// No space freed yet (e.g. suspended reader): retry later.
+			b.mRetries.Inc()
 			b.fab.Engine().After(b.cfg.RetryDelay, func() { b.refreshHeadDone(pc) })
 			return
 		}
@@ -293,19 +308,26 @@ type Receiver struct {
 	delivered map[rdma.NodeID]map[uint64]bool
 	low       map[rdma.NodeID]uint64 // contiguous delivery watermark per source
 	ticker    *sim.Ticker
+
+	mDelivered  *metrics.Counter // messages handed to the handler
+	mRecoveries *metrics.Counter // RecoverFrom sweeps started
+	mRecovered  *metrics.Counter // backup slots holding a decodable pending message
 }
 
 // NewReceiver starts delivery on node, invoking handler on the node's CPU
 // for every message. Setup must have run.
 func NewReceiver(fab *rdma.Fabric, node *rdma.Node, cfg Config, handler Handler) *Receiver {
 	r := &Receiver{
-		fab:       fab,
-		node:      node,
-		cfg:       cfg,
-		handler:   handler,
-		readers:   make(map[rdma.NodeID]*ring.Reader),
-		delivered: make(map[rdma.NodeID]map[uint64]bool),
-		low:       make(map[rdma.NodeID]uint64),
+		fab:         fab,
+		node:        node,
+		cfg:         cfg,
+		handler:     handler,
+		readers:     make(map[rdma.NodeID]*ring.Reader),
+		delivered:   make(map[rdma.NodeID]map[uint64]bool),
+		low:         make(map[rdma.NodeID]uint64),
+		mDelivered:  cfg.Metrics.Counter("broadcast.delivered"),
+		mRecoveries: cfg.Metrics.Counter("broadcast.recovery_sweeps"),
+		mRecovered:  cfg.Metrics.Counter("broadcast.backup_slots_recovered"),
 	}
 	for i := 0; i < fab.Size(); i++ {
 		src := rdma.NodeID(i)
@@ -364,6 +386,7 @@ func (r *Receiver) deliver(src rdma.NodeID, seq uint64, payload []byte) {
 		r.low[src]++
 		delete(r.delivered[src], r.low[src])
 	}
+	r.mDelivered.Inc()
 	buf := append([]byte(nil), payload...)
 	r.node.CPU.Exec(r.cfg.DeliverCost, func() { r.handler(src, seq, buf) })
 }
@@ -379,6 +402,7 @@ func (r *Receiver) RecoverFrom(src rdma.NodeID) {
 		return
 	}
 	size := r.cfg.BackupSlots * r.cfg.BackupSlot
+	r.mRecoveries.Inc()
 	r.node.QP(src).Read(r.cfg.backupRegion(), 0, size, func(data []byte, err error) {
 		if err != nil {
 			return
@@ -402,6 +426,7 @@ func (r *Receiver) RecoverFrom(src rdma.NodeID) {
 			if derr != nil || iseq != seq {
 				continue
 			}
+			r.mRecovered.Inc()
 			r.deliver(src, seq, payload)
 		}
 	})

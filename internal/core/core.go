@@ -27,6 +27,7 @@ import (
 
 	"hamband/internal/broadcast"
 	"hamband/internal/heartbeat"
+	"hamband/internal/metrics"
 	"hamband/internal/mu"
 	"hamband/internal/rdma"
 	"hamband/internal/sim"
@@ -68,6 +69,12 @@ type Options struct {
 	// Tracer, when non-nil, records per-call lifecycle events
 	// (issue/order/apply/…) for debugging and the trace experiment.
 	Tracer *trace.Tracer
+
+	// Metrics, when non-nil, receives per-category call latency
+	// histograms and buffer-depth gauges, and is propagated to the
+	// broadcast, consensus and heartbeat layers. Nil disables all
+	// instrumentation at zero hot-path cost.
+	Metrics *metrics.Registry
 
 	// DisableFailureHandling turns off detectors and recovery (ablation).
 	DisableFailureHandling bool
@@ -118,6 +125,20 @@ func NewCluster(fab *rdma.Fabric, an *spec.Analysis, opts Options) *Cluster {
 	if c.leaders == nil {
 		for g := range an.SyncGroups {
 			c.leaders = append(c.leaders, spec.ProcID(g%n))
+		}
+	}
+
+	// Propagate the registry to the protocol layers (explicit per-layer
+	// registries, if any, win).
+	if opts.Metrics.Enabled() {
+		if c.Opts.Broadcast.Metrics == nil {
+			c.Opts.Broadcast.Metrics = opts.Metrics
+		}
+		if c.Opts.Mu.Metrics == nil {
+			c.Opts.Mu.Metrics = opts.Metrics
+		}
+		if c.Opts.Heartbeat.Metrics == nil {
+			c.Opts.Heartbeat.Metrics = opts.Metrics
 		}
 	}
 
@@ -226,6 +247,16 @@ type Replica struct {
 
 	applying bool
 
+	// Instrumentation (nil instruments are free no-ops).
+	mReduceLat *metrics.Histogram // client-observed reducible-call latency
+	mFreeLat   *metrics.Histogram // irreducible conflict-free call latency
+	mConfLat   *metrics.Histogram // conflicting-call latency (issue → ordered response)
+	mQueryLat  *metrics.Histogram // query latency
+	mFreeDepth *metrics.Gauge     // total F-buffer depth
+	mConfDepth *metrics.Gauge     // total L-buffer depth
+	mApplied   *metrics.Counter   // calls applied to σ or a summary slot
+	mRejected  *metrics.Counter   // calls rejected as impermissible
+
 	tickers []*sim.Ticker
 
 	// Stats.
@@ -253,6 +284,16 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		pendingConf: make(map[uint64]func(any, error)),
 		specA:       make(map[callKey2]uint32),
 		haveSums:    len(cls.SumGroups) > 0,
+	}
+	if reg := c.Opts.Metrics; reg.Enabled() {
+		r.mReduceLat = reg.Histogram("core.call.reduce", nil)
+		r.mFreeLat = reg.Histogram("core.call.free", nil)
+		r.mConfLat = reg.Histogram("core.call.conf", nil)
+		r.mQueryLat = reg.Histogram("core.call.query", nil)
+		r.mFreeDepth = reg.Gauge("core.queue.free_depth")
+		r.mConfDepth = reg.Gauge("core.queue.conf_depth")
+		r.mApplied = reg.Counter("core.applied")
+		r.mRejected = reg.Counter("core.rejected")
 	}
 	for range cls.SumGroups {
 		row := make([]*sumSlot, n)

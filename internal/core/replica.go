@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"hamband/internal/codec"
+	"hamband/internal/metrics"
 	"hamband/internal/rdma"
+	"hamband/internal/sim"
 	"hamband/internal/spec"
 	"hamband/internal/trace"
 )
@@ -37,6 +39,7 @@ func (r *Replica) Invoke(u spec.MethodID, args spec.Args, onDone func(result any
 		}
 		return
 	}
+	onDone = r.measureCall(u, onDone)
 	r.node.CPU.Exec(r.opts.IssueCost, func() {
 		r.statIssued++
 		switch r.an.Category[u] {
@@ -59,6 +62,44 @@ func (r *Replica) Invoke(u spec.MethodID, args spec.Args, onDone func(result any
 			}
 		}
 	})
+}
+
+// measureCall wraps a completion callback so the call's client-observed
+// latency (Invoke entry → callback) lands in the category's histogram.
+// With metrics disabled it returns onDone untouched — no wrapper, no
+// allocation on the invoke path.
+func (r *Replica) measureCall(u spec.MethodID, onDone func(any, error)) func(any, error) {
+	var h *metrics.Histogram
+	switch r.an.Category[u] {
+	case spec.CatQuery:
+		h = r.mQueryLat
+	case spec.CatReducible:
+		h = r.mReduceLat
+	case spec.CatIrreducibleFree:
+		h = r.mFreeLat
+	case spec.CatConflicting:
+		h = r.mConfLat
+	}
+	if h == nil {
+		return onDone
+	}
+	start := r.cluster.Fab.Engine().Now()
+	return func(v any, err error) {
+		h.Observe(sim.Duration(r.cluster.Fab.Engine().Now() - start))
+		if onDone != nil {
+			onDone(v, err)
+		}
+	}
+}
+
+// noteQueueDepths publishes the current buffer depths (metrics only).
+func (r *Replica) noteQueueDepths() {
+	if r.mFreeDepth == nil {
+		return
+	}
+	free, conf := r.QueueDepths()
+	r.mFreeDepth.Set(int64(free))
+	r.mConfDepth.Set(int64(conf))
 }
 
 // newCall stamps a fresh request identifier.
@@ -118,6 +159,7 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any,
 	r.trace(trace.Issue, c, r.cls.Methods[u].Name+" (reducible)")
 	if !r.permissible(c) {
 		r.statRejected++
+		r.mRejected.Inc()
 		r.trace(trace.Reject, c, "not locally permissible")
 		if onDone != nil {
 			onDone(nil, ErrImpermissible)
@@ -160,6 +202,7 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any,
 		r.node.QP(rdma.NodeID(p)).Write(r.opts.Namespace+sumRegionBase, off, used, nil)
 	}
 	r.statApplied++
+	r.mApplied.Inc()
 	r.assertIntegrity("reduce")
 	r.trace(trace.Reduce, c, fmt.Sprintf("summary v%d remote-written to %d peers", slot.version, r.n-1))
 	r.kickApply() // counts advanced: dependent buffered calls may unblock
@@ -246,6 +289,7 @@ func (r *Replica) scanSummaries() {
 				if i < len(counts) && counts[i] > r.applied.Get(spec.ProcID(p), u) {
 					r.applied.Set(spec.ProcID(p), u, counts[i])
 					r.statApplied++
+					r.mApplied.Inc()
 				}
 			}
 			changed = true
@@ -265,6 +309,7 @@ func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, onDone func(any, e
 	r.trace(trace.Issue, c, r.cls.Methods[u].Name+" (irreducible conflict-free)")
 	if !r.permissible(c) {
 		r.statRejected++
+		r.mRejected.Inc()
 		r.trace(trace.Reject, c, "not locally permissible")
 		if onDone != nil {
 			onDone(nil, ErrImpermissible)
@@ -277,6 +322,7 @@ func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, onDone func(any, e
 		r.qDirty = true
 		r.applied.Inc(r.id, u)
 		r.statApplied++
+		r.mApplied.Inc()
 		r.syncSpec(c)
 		r.assertIntegrity("free")
 		entry, err := codec.EncodeEntry(c, d)
@@ -362,6 +408,7 @@ func (r *Replica) onFreeDelivery(src rdma.NodeID, _ uint64, payload []byte) {
 		r.fQueues[src] = append(r.fQueues[src], pendingEntry{c: c, d: d})
 		payload = payload[n:]
 	}
+	r.noteQueueDepths()
 	r.kickApply()
 }
 
@@ -416,6 +463,7 @@ func (r *Replica) leaderTransform(_ rdma.NodeID, payload []byte) []byte {
 	}
 	if !r.specPermissible(c) {
 		r.statRejected++
+		r.mRejected.Inc()
 		r.trace(trace.Reject, c, "rejected at the ordering point")
 		out := append([]byte(nil), payload...)
 		out[0] = confFlagRejected
@@ -493,6 +541,7 @@ func (r *Replica) onConfDelivery(g int, _ rdma.NodeID, payload []byte) {
 		return
 	}
 	r.lQueues[g] = append(r.lQueues[g], pendingEntry{c: c, d: d})
+	r.noteQueueDepths()
 	r.kickApply()
 }
 
@@ -527,6 +576,7 @@ func (r *Replica) kickApply() {
 func (r *Replica) applyStep() {
 	r.applying = false
 	if r.applyOne() {
+		r.noteQueueDepths()
 		r.kickApply()
 	}
 }
@@ -579,6 +629,7 @@ func (r *Replica) applyEntry(e pendingEntry, context string) {
 	r.qDirty = true
 	r.applied.Inc(e.c.Proc, e.c.Method)
 	r.statApplied++
+	r.mApplied.Inc()
 	r.syncSpec(e.c)
 	r.assertIntegrity(context + " of " + e.c.Format(r.cls))
 	r.trace(trace.Apply, e.c, context)
@@ -764,6 +815,7 @@ func (r *Replica) adoptSlot(g int, p spec.ProcID, data []byte) bool {
 		if i < len(counts) && counts[i] > r.applied.Get(p, u) {
 			r.applied.Set(p, u, counts[i])
 			r.statApplied++
+			r.mApplied.Inc()
 		}
 	}
 	r.qDirty = true

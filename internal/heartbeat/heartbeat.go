@@ -14,6 +14,7 @@ package heartbeat
 import (
 	"encoding/binary"
 
+	"hamband/internal/metrics"
 	"hamband/internal/rdma"
 	"hamband/internal/sim"
 )
@@ -29,6 +30,9 @@ type Config struct {
 	BeatPeriod  sim.Duration // counter increment period
 	CheckPeriod sim.Duration // remote read period
 	Threshold   int          // consecutive stale checks before suspicion
+
+	// Metrics, when non-nil, receives suspicion/restore counters.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns timings in line with microsecond-scale RDMA
@@ -96,6 +100,9 @@ type Detector struct {
 	suspected []bool
 	ticker    *sim.Ticker
 
+	mSuspicions *metrics.Counter // peer transitions to suspected
+	mRestores   *metrics.Counter // suspected peers whose counter advanced again
+
 	// OnSuspect is invoked (on the detector node's CPU) when a peer
 	// transitions to suspected.
 	OnSuspect func(peer rdma.NodeID)
@@ -107,12 +114,14 @@ type Detector struct {
 func NewDetector(fab *rdma.Fabric, node *rdma.Node, cfg Config) *Detector {
 	n := fab.Size()
 	d := &Detector{
-		fab:       fab,
-		node:      node,
-		cfg:       cfg,
-		lastSeen:  make([]uint64, n),
-		misses:    make([]int, n),
-		suspected: make([]bool, n),
+		fab:         fab,
+		node:        node,
+		cfg:         cfg,
+		lastSeen:    make([]uint64, n),
+		misses:      make([]int, n),
+		suspected:   make([]bool, n),
+		mSuspicions: cfg.Metrics.Counter("heartbeat.suspicions"),
+		mRestores:   cfg.Metrics.Counter("heartbeat.restores"),
 	}
 	d.ticker = fab.Engine().NewTicker(cfg.CheckPeriod, d.check)
 	return d
@@ -146,6 +155,7 @@ func (d *Detector) check() {
 				d.misses[peer] = 0
 				if d.suspected[peer] {
 					d.suspected[peer] = false
+					d.mRestores.Inc()
 					if d.OnRestore != nil {
 						d.OnRestore(peer)
 					}
@@ -161,6 +171,7 @@ func (d *Detector) miss(peer rdma.NodeID) {
 	d.misses[peer]++
 	if d.misses[peer] >= d.cfg.Threshold && !d.suspected[peer] {
 		d.suspected[peer] = true
+		d.mSuspicions.Inc()
 		if d.OnSuspect != nil {
 			d.OnSuspect(peer)
 		}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hamband/internal/sim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New(sim.NewEngine(1))
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 || g.Max() != 7 {
+		t.Fatalf("gauge = %d max %d, want 2 max 7", g.Value(), g.Max())
+	}
+	g.Set(10)
+	if g.Value() != 10 || g.Max() != 10 {
+		t.Fatalf("gauge after Set = %d max %d", g.Value(), g.Max())
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(5 * sim.Microsecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf) // must not panic
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New(sim.NewEngine(1))
+	h := r.Histogram("lat", nil)
+	// 100 observations 1..100 µs: p50 ≈ 50 µs, p99 ≈ 99 µs.
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1*sim.Microsecond || h.Max() != 100*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	p50 := h.Quantile(0.50)
+	p95 := h.Quantile(0.95)
+	p99 := h.Quantile(0.99)
+	// Bucketed estimates: tolerate a factor-2 bucket's worth of error.
+	if p50 < 30*sim.Microsecond || p50 > 70*sim.Microsecond {
+		t.Fatalf("p50 = %v, want ≈50µs", p50)
+	}
+	if p95 < p50 || p99 < p95 || p99 > h.Max() {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v max=%v", p50, p95, p99, h.Max())
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("extreme quantiles should clamp to min/max")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := New(sim.NewEngine(1))
+	h := r.Histogram("lat", []sim.Duration{sim.Microsecond})
+	h.Observe(5 * sim.Second) // far past the last bound
+	if h.Quantile(0.99) != 5*sim.Second {
+		t.Fatalf("overflow quantile = %v, want the observed max", h.Quantile(0.99))
+	}
+}
+
+func TestHistogramMeanAndSum(t *testing.T) {
+	h := newHistogram(nil)
+	h.Observe(2 * sim.Microsecond)
+	h.Observe(4 * sim.Microsecond)
+	if h.Sum() != 6*sim.Microsecond || h.Mean() != 3*sim.Microsecond {
+		t.Fatalf("sum=%v mean=%v", h.Sum(), h.Mean())
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	eng := sim.NewEngine(1)
+	eng.At(1000, func() {})
+	eng.Run()
+	r := New(eng)
+	r.Counter("ops").Add(9)
+	r.Gauge("depth").Set(4)
+	r.Histogram("lat", nil).Observe(3 * sim.Microsecond)
+	s := r.Snapshot()
+	if s.AtNS != 1000 {
+		t.Fatalf("snapshot at %d, want virtual time 1000", s.AtNS)
+	}
+	if s.Counters["ops"] != 9 || s.Gauges["depth"].Value != 4 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != 1 || hs.P99NS != int64(3*sim.Microsecond) {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["ops"] != 9 {
+		t.Fatalf("round-tripped counters = %+v", back.Counters)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	r := New(sim.NewEngine(1))
+	r.Histogram("core.call.reduce", nil).Observe(2 * sim.Microsecond)
+	r.Counter("rdma.qp.0-1.writes").Inc()
+	r.Gauge("core.queue.free_depth").Set(2)
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"p50", "p95", "p99", "core.call.reduce", "rdma.qp.0-1.writes", "core.queue.free_depth"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDisabledHotPathZeroAlloc is the acceptance check: with metrics
+// disabled (nil instruments), the hot path allocates nothing.
+func TestDisabledHotPathZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		h.Observe(7 * sim.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// The enabled hot path is allocation-free too: recording is index
+// arithmetic over pre-sized arrays.
+func TestEnabledHotPathZeroAlloc(t *testing.T) {
+	r := New(sim.NewEngine(1))
+	c := r.Counter("c")
+	h := r.Histogram("h", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(3 * sim.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(sim.Duration(i))
+	}
+}
+
+func BenchmarkEnabledObserve(b *testing.B) {
+	h := newHistogram(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(sim.Duration(i))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"hamband/internal/codec"
+	"hamband/internal/metrics"
 	"hamband/internal/rdma"
 	"hamband/internal/ring"
 	"hamband/internal/sim"
@@ -55,6 +56,10 @@ type Config struct {
 	DeliverCost     sim.Duration // CPU cost per delivered entry
 	RetryDelay      sim.Duration // backpressure retry delay
 	CatchUpAfter    sim.Duration // follower staleness before a journal catch-up
+
+	// Metrics, when non-nil, receives commit latency and leader-change
+	// instruments. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns sizes suited to the benchmark workloads.
@@ -166,6 +171,13 @@ type Instance struct {
 
 	ticker *sim.Ticker
 
+	// Instrumentation. proposedAt is populated only when metrics are
+	// enabled, so the disabled path stays allocation-free.
+	mCommitLat     *metrics.Histogram // leader: propose → majority decide
+	mLeaderChanges *metrics.Counter   // leader-view adoptions on this node
+	mElections     *metrics.Counter   // candidacies started by this node
+	proposedAt     map[uint64]sim.Time
+
 	// Deliver is invoked, on this node's CPU, for every decided entry in
 	// sequence order.
 	Deliver DeliverFunc
@@ -210,6 +222,12 @@ func NewInstance(fab *rdma.Fabric, node *rdma.Node, group string, cfg Config, in
 		reqReaders:  make(map[rdma.NodeID]*ring.Reader),
 		voteReaders: make(map[rdma.NodeID]*ring.Reader),
 		grantReader: make(map[rdma.NodeID]*ring.Reader),
+	}
+	if cfg.Metrics.Enabled() {
+		in.mCommitLat = cfg.Metrics.Histogram("mu.commit_latency", nil)
+		in.mLeaderChanges = cfg.Metrics.Counter("mu.leader_changes")
+		in.mElections = cfg.Metrics.Counter("mu.elections")
+		in.proposedAt = make(map[uint64]sim.Time)
 	}
 	in.logReader = ring.NewReader(node.Region(logRegion(group)).Bytes())
 	for p := 0; p < in.n; p++ {
@@ -438,6 +456,9 @@ func (in *Instance) propose(origin rdma.NodeID, submitSeq uint64, payload []byte
 	}
 	seq := in.nextSeq
 	in.nextSeq++
+	if in.proposedAt != nil {
+		in.proposedAt[seq] = in.fab.Engine().Now()
+	}
 	entry := encodeEntry(seq, in.term, in.lastDelivered, origin, submitSeq, payload)
 	in.journal(seq, entry)
 	in.entries[seq] = entry
@@ -473,6 +494,10 @@ func (in *Instance) acked(seq uint64, err error) {
 // watermark, a dedicated commit record carries it to the followers.
 func (in *Instance) decide(seq uint64) {
 	in.decided[seq] = true
+	if at, ok := in.proposedAt[seq]; ok {
+		in.mCommitLat.Observe(sim.Duration(in.fab.Engine().Now() - at))
+		delete(in.proposedAt, seq)
+	}
 	advanced := false
 	for in.decided[in.lastDelivered+1] {
 		next := in.lastDelivered + 1
@@ -678,6 +703,7 @@ func (in *Instance) StartElection() {
 		return
 	}
 	in.electing = true
+	in.mElections.Inc()
 	in.oldLeader = in.leader
 	in.term++
 	in.votedFor = in.node.ID() // self-vote
@@ -742,6 +768,7 @@ func (in *Instance) handleVote(term uint64, cand rdma.NodeID) {
 	if oc := in.grantOut[cand]; oc != nil {
 		in.send(oc, encodeGrant(term, in.lastDelivered, in.node.ID()), nil)
 	}
+	in.mLeaderChanges.Inc()
 	if in.OnLeaderChange != nil {
 		in.OnLeaderChange(cand, term)
 	}
@@ -843,6 +870,7 @@ func (in *Instance) maybeLead() {
 	in.isLeader = true
 	in.recovering = true
 	in.leader = in.node.ID()
+	in.mLeaderChanges.Inc()
 	if in.OnLeaderChange != nil {
 		in.OnLeaderChange(in.leader, in.term)
 	}

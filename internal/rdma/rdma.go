@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hamband/internal/metrics"
 	"hamband/internal/sim"
 )
 
@@ -86,6 +87,7 @@ type Fabric struct {
 	lat   LatencyModel
 	nodes []*Node
 	stats Stats
+	reg   *metrics.Registry
 }
 
 // NewFabric creates a fabric with n nodes using the given cost model.
@@ -116,6 +118,22 @@ func (f *Fabric) Node(id NodeID) *Node { return f.nodes[id] }
 
 // Stats returns a snapshot of verb counters.
 func (f *Fabric) Stats() Stats { return f.stats }
+
+// EnableMetrics attaches a metrics registry to the fabric: every queue
+// pair — existing and future — records per-verb counters, bytes and
+// post-to-completion latency histograms under "rdma.qp.<from>-<to>.*".
+// A nil registry (the default) costs nothing on the verb paths.
+func (f *Fabric) EnableMetrics(reg *metrics.Registry) {
+	f.reg = reg
+	for _, n := range f.nodes {
+		for _, qp := range n.qps {
+			qp.instrument(reg)
+		}
+	}
+}
+
+// Metrics returns the attached registry (nil when metrics are disabled).
+func (f *Fabric) Metrics() *metrics.Registry { return f.reg }
 
 // Node is one machine on the fabric: a CPU, registered memory regions, and
 // queue pairs to its peers.
@@ -164,6 +182,7 @@ func (n *Node) QP(peer NodeID) *QP {
 	qp, ok := n.qps[peer]
 	if !ok {
 		qp = &QP{from: n, to: n.fabric.nodes[peer]}
+		qp.instrument(n.fabric.reg)
 		n.qps[peer] = qp
 	}
 	return qp
@@ -230,6 +249,36 @@ func (r *Region) CanWrite(from NodeID) bool { return r.allowAll || r.writers[fro
 type QP struct {
 	from, to *Node
 	lastLand sim.Time // delivery ordering horizon (RC in-order)
+	lastCQE  sim.Time // completion ordering horizon (CQEs in posting order)
+	m        qpMetrics
+}
+
+// qpMetrics holds the per-QP instruments; all nil (free no-ops) when the
+// fabric has no registry attached.
+type qpMetrics struct {
+	writes, reads, cases *metrics.Counter
+	bytes                *metrics.Counter
+	writeLat             *metrics.Histogram
+	readLat              *metrics.Histogram
+	casLat               *metrics.Histogram
+}
+
+// instrument creates the QP's instruments in reg (idempotent; no-op for a
+// nil registry). Name formatting happens here, once, never on a verb path.
+func (qp *QP) instrument(reg *metrics.Registry) {
+	if reg == nil || qp.m.writes != nil {
+		return
+	}
+	prefix := fmt.Sprintf("rdma.qp.%d-%d.", qp.from.id, qp.to.id)
+	qp.m = qpMetrics{
+		writes:   reg.Counter(prefix + "writes"),
+		reads:    reg.Counter(prefix + "reads"),
+		cases:    reg.Counter(prefix + "cases"),
+		bytes:    reg.Counter(prefix + "bytes_written"),
+		writeLat: reg.Histogram(prefix+"write_latency", nil),
+		readLat:  reg.Histogram(prefix+"read_latency", nil),
+		casLat:   reg.Histogram(prefix+"cas_latency", nil),
+	}
 }
 
 // From returns the posting node's ID.
@@ -262,13 +311,22 @@ func (qp *QP) landAt(n int) sim.Time {
 }
 
 // complete schedules cb(err) on the posting node's CPU after the ack
-// travels back. cb may be nil (an unsignaled verb).
+// travels back. cb may be nil (an unsignaled verb). RC queue pairs deliver
+// completions in posting order, so the CQE time is clamped to the QP's
+// completion horizon: a verb whose response is slow (e.g. a CAS waiting on
+// the remote atomic unit) delays later verbs' completions — but not, per
+// landAt, their wire delivery.
 func (qp *QP) complete(landed sim.Time, cb func(error), err error) {
 	if cb == nil {
 		return
 	}
 	f := qp.fabric()
-	f.eng.At(landed+sim.Time(f.lat.AckLatency), func() {
+	t := landed + sim.Time(f.lat.AckLatency)
+	if t <= qp.lastCQE {
+		t = qp.lastCQE + 1
+	}
+	qp.lastCQE = t
+	f.eng.At(t, func() {
 		if qp.from.crashed {
 			return
 		}
@@ -302,11 +360,15 @@ func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
 		f := qp.fabric()
 		f.stats.Writes++
 		f.stats.BytesWritten += uint64(len(buf))
+		qp.m.writes.Inc()
+		qp.m.bytes.Add(uint64(len(buf)))
 		if qp.to.crashed {
 			qp.failLocal(onDone)
 			return
 		}
+		posted := f.eng.Now()
 		landed := qp.landAt(len(buf))
+		qp.m.writeLat.Observe(sim.Duration(landed-posted) + f.lat.AckLatency)
 		f.eng.At(landed, func() {
 			if qp.to.crashed { // crashed while in flight
 				f.stats.Failed++
@@ -331,11 +393,21 @@ func (qp *QP) Read(region string, off, n int, onDone func([]byte, error)) {
 	qp.post(func() {
 		f := qp.fabric()
 		f.stats.Reads++
+		qp.m.reads.Inc()
 		if qp.to.crashed {
 			qp.failLocal(func(err error) { onDone(nil, err) })
 			return
 		}
+		posted := f.eng.Now()
 		landed := qp.landAt(0) // request is small; payload returns with the ack
+		// The response payload streams back at wire bandwidth over the same
+		// QP, so it occupies the in-order wire horizon: back-to-back large
+		// reads complete no faster than the wire can carry their payloads.
+		back := landed + sim.Time(f.lat.transfer(n))
+		if back > qp.lastLand {
+			qp.lastLand = back
+		}
+		qp.m.readLat.Observe(sim.Duration(back-posted) + f.lat.AckLatency)
 		f.eng.At(landed, func() {
 			if qp.to.crashed {
 				f.stats.Failed++
@@ -350,8 +422,6 @@ func (qp *QP) Read(region string, off, n int, onDone func([]byte, error)) {
 			} else {
 				f.stats.Failed++
 			}
-			// The payload rides back with the ack, charged at wire bandwidth.
-			back := landed + sim.Time(f.lat.transfer(n))
 			qp.complete(back, func(e error) { onDone(data, e) }, err)
 		})
 	})
@@ -365,16 +435,25 @@ func (qp *QP) CAS(region string, off int, expect, swap uint64, onDone func(old u
 	qp.post(func() {
 		f := qp.fabric()
 		f.stats.CASes++
+		qp.m.cases.Inc()
 		if qp.to.crashed {
 			qp.failLocal(func(err error) { onDone(0, err) })
 			return
 		}
-		landed := qp.landAt(8) + sim.Time(f.lat.CASExtra)
-		qp.lastLand = landed
+		posted := f.eng.Now()
+		// The 8-byte operand occupies the wire like any verb; the remote
+		// NIC's atomic unit then takes CASExtra to execute and produce the
+		// response. That extra time delays this verb's completion (and, via
+		// the CQE horizon, later completions), but not the wire delivery of
+		// subsequent verbs: CASExtra is remote-NIC latency, not wire
+		// occupancy.
+		landed := qp.landAt(8)
+		responded := landed + sim.Time(f.lat.CASExtra)
+		qp.m.casLat.Observe(sim.Duration(responded-posted) + f.lat.AckLatency)
 		f.eng.At(landed, func() {
 			if qp.to.crashed {
 				f.stats.Failed++
-				qp.complete(landed, func(err error) { onDone(0, err) }, ErrCrashed)
+				qp.complete(responded, func(err error) { onDone(0, err) }, ErrCrashed)
 				return
 			}
 			r := qp.to.regions[region]
@@ -388,7 +467,7 @@ func (qp *QP) CAS(region string, off int, expect, swap uint64, onDone func(old u
 			} else {
 				f.stats.Failed++
 			}
-			qp.complete(landed, func(e error) { onDone(old, e) }, err)
+			qp.complete(responded, func(e error) { onDone(old, e) }, err)
 		})
 	})
 }

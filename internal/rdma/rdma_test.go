@@ -348,6 +348,84 @@ func TestWriteOrderingAcrossMixedVerbs(t *testing.T) {
 	}
 }
 
+// TestReadPayloadOccupiesWire pins the cost-model fix for QP.Read:
+// the response payload of a read streams back at wire bandwidth over the
+// QP's in-order channel, so back-to-back large reads must complete at
+// least one payload-transfer apart. (The seed model charged the payload
+// only to the first read's completion, letting a second read's response
+// overtake it and finish 1 ns later — faster than the wire allows.)
+func TestReadPayloadOccupiesWire(t *testing.T) {
+	eng, f := testFabric(2)
+	const n = 100_000 // 20 µs of wire time at 5 B/ns
+	f.Node(1).Register("buf", n)
+	var t1, t2 sim.Time
+	eng.At(0, func() {
+		qp := f.Node(0).QP(1)
+		qp.Read("buf", 0, n, func([]byte, error) { t1 = eng.Now() })
+		qp.Read("buf", 0, n, func([]byte, error) { t2 = eng.Now() })
+	})
+	eng.Run()
+	if t1 == 0 || t2 == 0 {
+		t.Fatal("reads did not complete")
+	}
+	transfer := sim.Duration(n / DefaultLatency().BytesPerNS)
+	if gap := sim.Duration(t2 - t1); gap < transfer {
+		t.Fatalf("back-to-back reads completed %v apart, want ≥ one payload transfer (%v): "+
+			"the response payload must occupy the wire horizon", gap, transfer)
+	}
+}
+
+// TestCASExtraIsNotWireOccupancy pins the cost-model fix for QP.CAS: the
+// remote NIC's atomic latency (CASExtra) delays the CAS response, but it
+// must not push the QP's wire-ordering horizon — a write posted right
+// after a CAS lands one wire latency after its post, not CASExtra later.
+// (The seed model folded CASExtra into lastLand, taxing every subsequent
+// verb on the QP.)
+func TestCASExtraIsNotWireOccupancy(t *testing.T) {
+	eng, f := testFabric(2)
+	r := f.Node(1).Register("buf", 32)
+	r.AllowWrite(0)
+	lat := DefaultLatency()
+	var casDone, writeDone, writeLand sim.Time
+	eng.At(0, func() {
+		qp := f.Node(0).QP(1)
+		qp.CAS("buf", 0, 0, 7, func(uint64, error) { casDone = eng.Now() })
+		qp.Write("buf", 16, []byte{5}, func(error) { writeDone = eng.Now() })
+	})
+	// Probe remote memory to observe the write's landing time.
+	var probe *sim.Ticker
+	probe = eng.NewTicker(10, func() {
+		if writeLand == 0 && r.Bytes()[16] == 5 {
+			writeLand = eng.Now()
+		}
+		if eng.Now() > 20_000 {
+			probe.Cancel()
+		}
+	})
+	eng.Run()
+	if casDone == 0 || writeDone == 0 || writeLand == 0 {
+		t.Fatalf("casDone=%d writeDone=%d writeLand=%d: all should be observed",
+			casDone, writeDone, writeLand)
+	}
+	// The write fires after two post costs; it lands one wire latency later
+	// (plus probe granularity). CASExtra must not appear in that path.
+	bound := sim.Time(2*lat.PostCost+lat.WireLatency) + 10
+	if writeLand > bound {
+		t.Fatalf("write after CAS landed at %d, want ≤ %d: CASExtra leaked into the wire horizon",
+			writeLand, bound)
+	}
+	// The CAS itself still pays the atomic's extra latency...
+	casMin := sim.Time(lat.PostCost + lat.WireLatency + lat.CASExtra + lat.AckLatency)
+	if casDone < casMin {
+		t.Fatalf("CAS completed at %d, before the atomic could respond (min %d)", casDone, casMin)
+	}
+	// ...and RC completion ordering holds: the write's CQE follows the CAS's.
+	if writeDone <= casDone {
+		t.Fatalf("write completion (%d) overtook the CAS completion (%d): CQE order violated",
+			writeDone, casDone)
+	}
+}
+
 func TestFailTimeoutBoundsCrashError(t *testing.T) {
 	eng, f := testFabric(2)
 	f.Node(1).Register("buf", 8).AllowWrite(0)

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded events in the Chrome trace-event
+// JSON format, loadable in chrome://tracing or Perfetto. Each simulated
+// node appears as a process. Every lifecycle event becomes an instant on
+// its node's track, and each call with both an issue and a complete event
+// additionally gets a duration span on the issuing node, so per-call
+// latency is visible as a bar. A nil tracer writes an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	if t != nil {
+		type span struct {
+			issueAt  float64
+			issueOn  int
+			complete float64
+			done     bool
+		}
+		spans := make(map[string]*span)
+		order := []string{}
+		for _, e := range t.events {
+			ts := float64(e.At) / 1e3 // virtual ns → µs
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: string(e.Kind),
+				Ph:   "i",
+				Ts:   ts,
+				Pid:  e.Node,
+				Tid:  e.Node,
+				Cat:  "lifecycle",
+				Args: map[string]any{"call": e.Call, "note": e.Note},
+			})
+			if e.Call == "" {
+				continue
+			}
+			sp := spans[e.Call]
+			if sp == nil && e.Kind == Issue {
+				spans[e.Call] = &span{issueAt: ts, issueOn: e.Node}
+				order = append(order, e.Call)
+			}
+			if sp != nil && e.Kind == Complete {
+				sp.complete = ts
+				sp.done = true
+			}
+		}
+		for _, call := range order {
+			sp := spans[call]
+			if !sp.done {
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: call,
+				Ph:   "X",
+				Ts:   sp.issueAt,
+				Dur:  sp.complete - sp.issueAt,
+				Pid:  sp.issueOn,
+				Tid:  sp.issueOn,
+				Cat:  "call",
+			})
+		}
+		sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+			return out.TraceEvents[i].Ts < out.TraceEvents[j].Ts
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

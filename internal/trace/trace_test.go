@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -71,5 +72,61 @@ func TestByKind(t *testing.T) {
 	tr.Record(1, Apply, "a", "")
 	if len(tr.ByKind(Apply)) != 2 {
 		t.Fatal("ByKind(Apply) wrong")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 100)
+	eng.At(1000, func() { tr.Record(0, Issue, "p0#1", "deposit") })
+	eng.At(2500, func() { tr.Record(1, Apply, "p0#1", "applied") })
+	eng.At(3000, func() { tr.Record(0, Complete, "p0#1", "resolved") })
+	eng.At(4000, func() { tr.Record(2, Suspect, "", "p1 suspected") })
+	eng.Run()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var instants, spans int
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "i":
+			instants++
+		case "X":
+			spans++
+			if e.Name != "p0#1" || e.Pid != 0 {
+				t.Fatalf("span = %+v, want call p0#1 on node 0", e)
+			}
+			// issue at 1000 ns = 1 µs, complete at 3000 ns = 3 µs.
+			if e.Ts != 1.0 || e.Dur != 2.0 {
+				t.Fatalf("span ts=%v dur=%v, want ts=1µs dur=2µs", e.Ts, e.Dur)
+			}
+		}
+	}
+	if instants != 4 || spans != 1 {
+		t.Fatalf("got %d instants and %d spans, want 4 and 1", instants, spans)
+	}
+
+	// A nil tracer still writes a valid, empty trace.
+	buf.Reset()
+	var nilTr *Tracer
+	if err := nilTr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("nil trace output: %q", buf.String())
 	}
 }
