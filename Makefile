@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet race bench fuzz check
+.PHONY: all build test vet staticcheck race bench bench-snapshot benchstat fuzz check
 
 all: check
 
@@ -14,15 +15,36 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the binary is available and degrades to a notice
+# otherwise (the gate must not require network access to install tools).
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go vet still gates)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
 # check is the full pre-merge gate: tier-1 build + tests, static analysis,
 # the race detector, and a short fuzz budget over the wire-format parsers.
-check: build vet test race fuzz
+check: build vet staticcheck test race fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics ./internal/ring
+
+# bench-snapshot regenerates the canonical benchmark snapshot committed at
+# the repo root (deterministic: same ops+seed give identical bytes).
+SNAPSHOT ?= BENCH_PR2.json
+bench-snapshot:
+	$(GO) run ./cmd/hambench -exp snapshot -snapshot-out $(SNAPSHOT)
+
+# benchstat compares two snapshots: make benchstat OLD=a.json NEW=b.json
+OLD ?= BENCH_PR2.json
+NEW ?= BENCH_PR2.json
+benchstat:
+	$(GO) run ./cmd/hambench -exp benchstat -old $(OLD) -new $(NEW)
 
 # Each fuzz target gets a short fixed budget; go test only allows one
 # -fuzz pattern per package invocation.

@@ -31,11 +31,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, costs, trace, overview, analysis, metrics")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, snapshot, benchstat")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
 	chromeTrace := flag.String("chrome-trace", "", "write a chrome://tracing event file for the metrics experiment to FILE")
+	snapshotOut := flag.String("snapshot-out", "BENCH.json", "output file for the snapshot experiment")
+	oldSnap := flag.String("old", "", "benchstat: baseline snapshot file")
+	newSnap := flag.String("new", "", "benchstat: current snapshot file")
 	flag.Parse()
 
 	cfg := bench.Config{Ops: *ops, Seed: *seed, Out: os.Stdout}
@@ -57,6 +60,12 @@ func main() {
 		cfg.Fig13()
 	case "ablations":
 		cfg.Ablations()
+	case "doorbell":
+		cfg.Doorbell()
+	case "snapshot":
+		writeSnapshot(cfg, *snapshotOut)
+	case "benchstat":
+		compareSnapshots(*oldSnap, *newSnap)
 	case "costs":
 		cfg.Costs()
 	case "trace":
@@ -72,6 +81,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeSnapshot runs the canonical benchmark set and writes it to path.
+func writeSnapshot(cfg bench.Config, path string) {
+	s := cfg.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark points to %s\n", len(s.Points), path)
+}
+
+// compareSnapshots prints throughput and p99 deltas between two snapshots.
+func compareSnapshots(oldPath, newPath string) {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "hambench: -exp benchstat needs -old FILE and -new FILE")
+		os.Exit(2)
+	}
+	read := func(path string) bench.Snapshot {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		s, err := bench.ReadSnapshot(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return s
+	}
+	bench.CompareSnapshots(os.Stdout, read(oldPath), read(newPath))
 }
 
 // fileWriter opens path for writing, or returns nil when no path was given

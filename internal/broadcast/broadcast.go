@@ -126,11 +126,12 @@ type pendingMsg struct {
 
 // peerChan is the per-destination writer state.
 type peerChan struct {
-	peer    rdma.NodeID
-	qp      *rdma.QP
-	w       *ring.Writer
-	queue   []*pendingMsg
-	reading bool // head read in flight
+	peer      rdma.NodeID
+	qp        *rdma.QP
+	w         *ring.Writer
+	queue     []*pendingMsg
+	reading   bool // head read in flight
+	pumpArmed bool // deferred pump queued on the CPU
 }
 
 // NewBroadcaster creates the source side on node. Setup must have run.
@@ -198,32 +199,64 @@ func (b *Broadcaster) launch(pm *pendingMsg) {
 	}
 	for _, pc := range b.peers {
 		pc.queue = append(pc.queue, pm)
-		b.pump(pc)
+		b.schedulePump(pc)
 	}
 }
 
-// pump advances a peer channel: appends queued records to the remote ring,
-// refreshing the cached head via a remote read when the ring looks full.
+// schedulePump arms a deferred pump as a zero-cost CPU work item. Broadcasts
+// issued by work already queued on the CPU (pipelined calls) land in the
+// peer queue before the pump runs, so they join the same verb chain — one
+// doorbell per peer instead of one per message.
+func (b *Broadcaster) schedulePump(pc *peerChan) {
+	if pc.pumpArmed {
+		return
+	}
+	pc.pumpArmed = true
+	b.node.CPU.Exec(0, func() {
+		pc.pumpArmed = false
+		b.pump(pc)
+	})
+}
+
+// pump advances a peer channel: drains every queued record the remote ring
+// has room for into a single chained post (one doorbell; a message's
+// ring-wrap writes ride the same chain), refreshing the cached head via a
+// remote read when the ring looks full. Messages are removed from the queue
+// as they are batched, so a later crash-drain in refreshHead cannot account
+// them a second time.
 func (b *Broadcaster) pump(pc *peerChan) {
 	if b.node.Crashed() {
 		return
 	}
+	region := b.cfg.inRegion(b.node.ID())
+	var wrs []rdma.WR
+	var batch []*pendingMsg
 	for len(pc.queue) > 0 {
 		pm := pc.queue[0]
 		writes, ok := pc.w.Append(pm.record)
 		if !ok {
-			b.refreshHead(pc)
-			return
+			break
 		}
 		pc.queue = pc.queue[1:]
-		last := len(writes) - 1
-		for i, wr := range writes {
-			var cb func(error)
-			if i == last {
-				cb = func(error) { b.written(pm) }
-			}
-			pc.qp.Write(b.cfg.inRegion(b.node.ID()), wr.Off, wr.Data, cb)
+		for _, wr := range writes {
+			wrs = append(wrs, rdma.WR{Region: region, Off: wr.Off, Data: wr.Data})
 		}
+		batch = append(batch, pm)
+	}
+	if len(batch) > 0 {
+		msgs := batch
+		// The tail completion covers the whole chain: RC ordering means
+		// every batched record is in the remote ring (or the peer failed,
+		// in which case the writes are accounted as done, matching the
+		// crashed-peer drain below).
+		pc.qp.PostChain(wrs, func(error) {
+			for _, pm := range msgs {
+				b.written(pm)
+			}
+		})
+	}
+	if len(pc.queue) > 0 {
+		b.refreshHead(pc)
 	}
 }
 

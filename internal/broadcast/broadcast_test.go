@@ -114,16 +114,16 @@ func TestBackupSlotClearedAfterCompletion(t *testing.T) {
 
 func TestAgreementUnderSourceSuspension(t *testing.T) {
 	// The paper's agreement scenario: the source fails mid-fan-out. The
-	// source suspends right after launching the broadcast, so only the
-	// already-dispatched write (to node 1) goes out; node 2's write is
-	// stuck behind the suspended CPU. The message must be recoverable from
-	// the source's backup region, which its still-alive NIC serves.
+	// source suspends after node 1's doorbell has rung but before node 2's
+	// chain is posted, so only node 1's write goes out; node 2's is stuck
+	// behind the suspended CPU. The message must be recoverable from the
+	// source's backup region, which its still-alive NIC serves.
 	cfg := DefaultConfig()
 	eng, fab, bcs, got, rcs := setup(3, cfg)
-	eng.At(0, func() {
-		bcs[0].Broadcast([]byte("pending"), nil)
-		fab.Node(0).Suspend()
-	})
+	eng.At(0, func() { bcs[0].Broadcast([]byte("pending"), nil) })
+	// Node 1's post is dispatched within the first PostCost of virtual
+	// time; suspending inside that window leaves node 2's post queued.
+	eng.At(100, func() { fab.Node(0).Suspend() })
 	eng.RunUntil(sim.Time(sim.Millisecond))
 	if len(got[1]) != 1 {
 		t.Fatalf("node 1 (write already on the wire) got %d deliveries, want 1", len(got[1]))
@@ -213,5 +213,74 @@ func TestRingBackpressure(t *testing.T) {
 	eng.RunUntil(sim.Time(100 * sim.Millisecond))
 	if len(got[1]) != n {
 		t.Fatalf("delivered %d, want %d under backpressure", len(got[1]), n)
+	}
+}
+
+func TestCrashedPeerMidHeadReadDrainsQueue(t *testing.T) {
+	// Satellite regression for refreshHead's crashed-peer path: a tiny
+	// ring and a suspended receiver push the writer into head-refresh
+	// retries with a backlog split between an in-flight chain and queued
+	// messages. Crashing the peer mid-read must complete every broadcast
+	// exactly once — the chain's tail completion accounts the batched
+	// messages, the drain accounts the queued ones — and must not wedge
+	// the channel for later broadcasts.
+	cfg := DefaultConfig()
+	cfg.RingCapacity = 256
+	eng, fab, bcs, _, _ := setup(2, cfg)
+	const n = 30
+	done := make([]int, n+1)
+	eng.At(0, func() {
+		fab.Node(1).Suspend() // receiver stops polling: the ring fills
+		for i := 0; i < n; i++ {
+			i := i
+			bcs[0].Broadcast([]byte("0123456789"), func() { done[i]++ })
+		}
+	})
+	eng.At(sim.Time(50*sim.Microsecond), func() { fab.Node(1).Crash() })
+	// A broadcast issued after the crash must also complete (via the
+	// failure path), proving the channel did not deadlock.
+	eng.At(sim.Time(500*sim.Microsecond), func() {
+		bcs[0].Broadcast([]byte("after-crash"), func() { done[n]++ })
+	})
+	eng.RunUntil(sim.Time(20 * sim.Millisecond))
+	for i, c := range done {
+		if c != 1 {
+			t.Fatalf("broadcast %d completed %d times, want exactly once", i, c)
+		}
+	}
+}
+
+func TestRecoverFromDoesNotDuplicateInFlightChain(t *testing.T) {
+	// Satellite regression: a recovery sweep racing a chained fan-out
+	// still in flight must not deliver any message twice. The broadcasts
+	// are posted as one chain per peer; RecoverFrom reads the backup
+	// region while the chain is on the wire, so both the recovered copy
+	// and the ring copy reach the receiver — dedup keeps exactly one.
+	cfg := DefaultConfig()
+	eng, _, bcs, got, rcs := setup(3, cfg)
+	const n = 5
+	eng.At(0, func() {
+		for i := 0; i < n; i++ {
+			bcs[0].Broadcast([]byte(fmt.Sprintf("m%d", i)), nil)
+		}
+	})
+	// The chain lands ~1 µs after posting; a recovery read issued now
+	// observes the still-occupied backup slots.
+	eng.At(sim.Time(1*sim.Microsecond), func() {
+		rcs[1].RecoverFrom(0)
+		rcs[2].RecoverFrom(0)
+	})
+	eng.RunUntil(sim.Time(5 * sim.Millisecond))
+	for _, i := range []int{1, 2} {
+		if len(got[i]) != n {
+			t.Fatalf("node %d delivered %d messages, want %d (no loss, no duplicates)", i, len(got[i]), n)
+		}
+		seen := make(map[uint64]bool)
+		for _, d := range got[i] {
+			if seen[d.seq] {
+				t.Fatalf("node %d delivered seq %d twice", i, d.seq)
+			}
+			seen[d.seq] = true
+		}
 	}
 }

@@ -19,6 +19,12 @@ func FuzzDecodeEntry(f *testing.F) {
 	f.Add(make([]byte, 64))
 	trunc := append([]byte(nil), good...)
 	f.Add(trunc[:len(trunc)/2])
+	// Hostile length field: a huge declared size with a tiny buffer.
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3})
+	// Corrupted canary byte on an otherwise valid record.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	f.Add(bad)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, d, n, err := DecodeEntry(data)
 		if err != nil {
@@ -40,6 +46,11 @@ func FuzzDecodeSlot(f *testing.F) {
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add(make([]byte, 12))
+	f.Add(good[:len(good)/2]) // torn seqlock frame
+	// Mismatched leading/trailing versions (a torn concurrent write).
+	torn := append([]byte(nil), good...)
+	torn[0] ^= 1
+	f.Add(torn)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, ver, err := DecodeSlot(data)
 		if err == nil && ver == 0 {
@@ -54,6 +65,8 @@ func FuzzDecodeRaw(f *testing.F) {
 	good, _ := EncodeRaw([]byte("msg"))
 	f.Add(good)
 	f.Add([]byte{0, 0, 0, 0})
+	f.Add(good[:len(good)-1]) // canary byte missing
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, n, err := DecodeRaw(data)
 		if err != nil {
@@ -64,4 +77,51 @@ func FuzzDecodeRaw(f *testing.F) {
 		}
 		_ = payload
 	})
+}
+
+// TestDecodersRejectEveryTruncation sweeps every strict prefix of a valid
+// record through all three decoders: none may panic, and none may claim a
+// successful decode of the full record from a truncated buffer. This pins
+// deterministically what the fuzz targets probe probabilistically.
+func TestDecodersRejectEveryTruncation(t *testing.T) {
+	entry, err := EncodeEntry(spec.Call{
+		Method: 2, Proc: 3, Seq: 17,
+		Args: spec.Args{I: []int64{7, -1}, S: []string{"ab", ""}},
+	}, spec.DepVec{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(entry); i++ {
+		if _, _, _, derr := DecodeEntry(entry[:i]); derr == nil {
+			t.Fatalf("DecodeEntry accepted a %d-byte prefix of a %d-byte record", i, len(entry))
+		}
+	}
+
+	payload := []byte("slot-payload")
+	slot, err := EncodeSlot(payload, 9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seqlock frame is self-delimiting: prefixes shorter than
+	// overhead+payload are torn and must fail, while the used prefix
+	// itself must decode — core's summary writes ship only that prefix.
+	used := SlotOverhead + len(payload)
+	for i := 0; i < used; i++ {
+		if _, _, derr := DecodeSlot(slot[:i]); derr == nil {
+			t.Fatalf("DecodeSlot accepted a torn %d-byte prefix (used size %d)", i, used)
+		}
+	}
+	if got, ver, derr := DecodeSlot(slot[:used]); derr != nil || ver != 9 || string(got) != string(payload) {
+		t.Fatalf("DecodeSlot(used prefix) = %q, v%d, %v; want full payload at v9", got, ver, derr)
+	}
+
+	raw, err := EncodeRaw([]byte("raw-payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(raw); i++ {
+		if _, _, derr := DecodeRaw(raw[:i]); derr == nil {
+			t.Fatalf("DecodeRaw accepted a %d-byte prefix of a %d-byte record", i, len(raw))
+		}
+	}
 }

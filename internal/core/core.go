@@ -217,6 +217,9 @@ type Replica struct {
 	sigmaQ   spec.State   // materialized Apply(S)(σ)
 	qDirty   bool
 	haveSums bool
+	// Per-peer summary-slot writes awaiting one chained doorbell.
+	sumOut        [][]rdma.WR
+	sumFlushArmed bool
 
 	// Buffers: FIFO queues of delivered-but-unapplied calls.
 	fQueues [][]pendingEntry // per source proc
@@ -284,6 +287,7 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		pendingConf: make(map[uint64]func(any, error)),
 		specA:       make(map[callKey2]uint32),
 		haveSums:    len(cls.SumGroups) > 0,
+		sumOut:      make([][]rdma.WR, n),
 	}
 	if reg := c.Opts.Metrics; reg.Enabled() {
 		r.mReduceLat = reg.Histogram("core.call.reduce", nil)

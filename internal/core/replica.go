@@ -191,16 +191,19 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any,
 	// Install locally (the issuer's own slot is the authoritative backup
 	// that peers repair from on failure) ...
 	copy(r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()[off:], used)
-	// ... then overwrite the slot at every other node with single
-	// one-sided writes. Summary and applied count travel in one slot, so
-	// no remote node can observe the count without the summary (the
-	// S-before-A ordering of rule REDUCE).
+	// ... then overwrite the slot at every other node with inline,
+	// unsignaled one-sided writes (the used prefix fits the WQE). Summary
+	// and applied count travel in one slot, so no remote node can observe
+	// the count without the summary (the S-before-A ordering of rule
+	// REDUCE). The writes are queued per peer and flushed as one chained
+	// doorbell; successive versions of a slot stay ordered on the QP.
 	for p := 0; p < r.n; p++ {
 		if spec.ProcID(p) == r.id {
 			continue
 		}
-		r.node.QP(rdma.NodeID(p)).Write(r.opts.Namespace+sumRegionBase, off, used, nil)
+		r.sumOut[p] = append(r.sumOut[p], rdma.WR{Region: r.opts.Namespace + sumRegionBase, Off: off, Data: used})
 	}
+	r.armSumFlush()
 	r.statApplied++
 	r.mApplied.Inc()
 	r.assertIntegrity("reduce")
@@ -208,6 +211,30 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any,
 	r.kickApply() // counts advanced: dependent buffered calls may unblock
 	if onDone != nil {
 		onDone(nil, nil)
+	}
+}
+
+// armSumFlush defers the summary fan-out to a zero-cost CPU work item:
+// reducible calls already queued on the CPU run before it, so their slot
+// writes join the same verb chain — one doorbell per peer per CPU drain
+// instead of one per call.
+func (r *Replica) armSumFlush() {
+	if r.sumFlushArmed {
+		return
+	}
+	r.sumFlushArmed = true
+	r.node.CPU.Exec(0, r.flushSumWrites)
+}
+
+func (r *Replica) flushSumWrites() {
+	r.sumFlushArmed = false
+	for p := range r.sumOut {
+		wrs := r.sumOut[p]
+		if len(wrs) == 0 {
+			continue
+		}
+		r.sumOut[p] = nil
+		r.node.QP(rdma.NodeID(p)).PostChain(wrs, nil)
 	}
 }
 

@@ -105,12 +105,13 @@ type DeliverFunc func(seq uint64, origin rdma.NodeID, payload []byte)
 // outChan is a single-writer remote ring with a local queue and
 // backpressure handling.
 type outChan struct {
-	peer    rdma.NodeID
-	region  string
-	qp      *rdma.QP
-	w       *ring.Writer
-	queue   []outItem
-	reading bool
+	peer      rdma.NodeID
+	region    string
+	qp        *rdma.QP
+	w         *ring.Writer
+	queue     []outItem
+	reading   bool
+	pumpArmed bool // deferred pump queued on the CPU
 }
 
 type outItem struct {
@@ -366,29 +367,63 @@ func (in *Instance) send(oc *outChan, payload []byte, onDone func(error)) {
 		return
 	}
 	oc.queue = append(oc.queue, outItem{record: rec, onDone: onDone})
-	in.pump(oc)
+	in.schedulePump(oc)
 }
 
+// schedulePump arms a deferred pump as a zero-cost CPU work item. A poll
+// sweep that proposes several entries back-to-back queues them all before
+// the pump runs, so one follower gets one chained post — one doorbell —
+// instead of one doorbell per entry.
+func (in *Instance) schedulePump(oc *outChan) {
+	if oc.pumpArmed {
+		return
+	}
+	oc.pumpArmed = true
+	in.node.CPU.Exec(0, func() {
+		oc.pumpArmed = false
+		in.pump(oc)
+	})
+}
+
+// pump drains every queued record the remote ring has room for into one
+// chained post. The tail completion fans out to each batched item's onDone:
+// RC ordering means the tail landing implies all earlier records landed, and
+// a chain error (e.g. permission revoked by a new leader) reaches every
+// batched item, so a deposed leader still cannot assemble a majority.
 func (in *Instance) pump(oc *outChan) {
 	if in.node.Crashed() {
 		return
 	}
+	var wrs []rdma.WR
+	var dones []func(error)
 	for len(oc.queue) > 0 {
 		item := oc.queue[0]
 		writes, ok := oc.w.Append(item.record)
 		if !ok {
-			in.refreshHead(oc)
-			return
+			break
 		}
 		oc.queue = oc.queue[1:]
-		last := len(writes) - 1
-		for i, wr := range writes {
-			var cb func(error)
-			if i == last && item.onDone != nil {
-				cb = item.onDone
-			}
-			oc.qp.Write(oc.region, wr.Off, wr.Data, cb)
+		for _, wr := range writes {
+			wrs = append(wrs, rdma.WR{Region: oc.region, Off: wr.Off, Data: wr.Data})
 		}
+		if item.onDone != nil {
+			dones = append(dones, item.onDone)
+		}
+	}
+	if len(wrs) > 0 {
+		var cb func(error)
+		if len(dones) > 0 {
+			ds := dones
+			cb = func(err error) {
+				for _, d := range ds {
+					d(err)
+				}
+			}
+		}
+		oc.qp.PostChain(wrs, cb)
+	}
+	if len(oc.queue) > 0 {
+		in.refreshHead(oc)
 	}
 }
 

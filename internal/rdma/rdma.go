@@ -44,13 +44,40 @@ var (
 // 40 Gbps InfiniBand RC setup: ~1 µs one-sided write visibility, ~2 µs
 // write-completion RTT, ~2.5 µs read/CAS RTT.
 type LatencyModel struct {
-	PostCost    sim.Duration // sender CPU occupancy to post one verb
+	PostCost    sim.Duration // sender CPU occupancy to post one verb (WQE write + doorbell MMIO)
 	PollCost    sim.Duration // sender CPU occupancy to reap one completion
-	WireLatency sim.Duration // one-way NIC-to-NIC propagation
+	WireLatency sim.Duration // one-way NIC-to-NIC propagation (includes the payload DMA-read leg)
 	AckLatency  sim.Duration // remote NIC ack generation + return
 	BytesPerNS  int          // wire bandwidth, bytes per virtual ns
 	CASExtra    sim.Duration // extra remote-NIC time for an atomic op
 	FailTimeout sim.Duration // delay before an op on a crashed target errors
+
+	// Verb-chain refinements (doorbell batching, inline sends, selective
+	// signaling). The zero values disable all of them, reproducing the
+	// one-doorbell-per-verb model exactly.
+
+	// ChainedPostCost is the sender CPU occupancy of each WR after the
+	// first in a PostChain: the chain shares one doorbell, so chained WRs
+	// pay only the WQE write. Setting it equal to PostCost models a NIC
+	// without doorbell batching (the ablation baseline).
+	ChainedPostCost sim.Duration
+	// InlineThreshold is the largest payload posted inline
+	// (IBV_SEND_INLINE): the payload travels inside the WQE, so the NIC
+	// skips its DMA read of the payload from registered memory. Zero
+	// disables inlining.
+	InlineThreshold int
+	// InlineCost is the extra sender CPU an inline post pays to copy the
+	// payload into the WQE (it replaces the NIC-side staging the sender
+	// otherwise does not see).
+	InlineCost sim.Duration
+	// InlineDMASaving is the slice of WireLatency attributable to the
+	// NIC's DMA read of the payload; inline posts skip it and land that
+	// much earlier.
+	InlineDMASaving sim.Duration
+	// ChainSignalAll, when set, makes every WR in a chain generate a CQE
+	// (each paying PollCost) instead of only the tail — the ablation
+	// baseline for selective signaling.
+	ChainSignalAll bool
 }
 
 // DefaultLatency returns the calibrated cost model described above.
@@ -63,7 +90,17 @@ func DefaultLatency() LatencyModel {
 		BytesPerNS:  5, // 40 Gbps
 		CASExtra:    300 * sim.Nanosecond,
 		FailTimeout: 100 * sim.Microsecond,
+
+		ChainedPostCost: 40 * sim.Nanosecond,
+		InlineThreshold: 220, // mlx5-style max_inline_data
+		InlineCost:      20 * sim.Nanosecond,
+		InlineDMASaving: 300 * sim.Nanosecond,
 	}
+}
+
+// inline reports whether a payload of n bytes posts inline under this model.
+func (m LatencyModel) inline(n int) bool {
+	return m.InlineThreshold > 0 && n <= m.InlineThreshold
 }
 
 // transfer returns the serialization delay for n bytes.
@@ -79,6 +116,11 @@ type Stats struct {
 	Writes, Reads, CASes uint64
 	BytesWritten         uint64
 	Failed               uint64
+
+	Chains       uint64 // PostChain calls with ≥ 2 WRs (doorbells shared)
+	ChainedWRs   uint64 // WRs that rode an earlier WR's doorbell
+	InlineWrites uint64 // writes posted inline (payload ≤ InlineThreshold)
+	Unsignaled   uint64 // writes whose completion was suppressed (no CQE)
 }
 
 // Fabric is a simulated RDMA network connecting a fixed set of nodes.
@@ -258,6 +300,8 @@ type QP struct {
 type qpMetrics struct {
 	writes, reads, cases *metrics.Counter
 	bytes                *metrics.Counter
+	chains, chainedWRs   *metrics.Counter
+	inline, unsignaled   *metrics.Counter
 	writeLat             *metrics.Histogram
 	readLat              *metrics.Histogram
 	casLat               *metrics.Histogram
@@ -271,13 +315,17 @@ func (qp *QP) instrument(reg *metrics.Registry) {
 	}
 	prefix := fmt.Sprintf("rdma.qp.%d-%d.", qp.from.id, qp.to.id)
 	qp.m = qpMetrics{
-		writes:   reg.Counter(prefix + "writes"),
-		reads:    reg.Counter(prefix + "reads"),
-		cases:    reg.Counter(prefix + "cases"),
-		bytes:    reg.Counter(prefix + "bytes_written"),
-		writeLat: reg.Histogram(prefix+"write_latency", nil),
-		readLat:  reg.Histogram(prefix+"read_latency", nil),
-		casLat:   reg.Histogram(prefix+"cas_latency", nil),
+		writes:     reg.Counter(prefix + "writes"),
+		reads:      reg.Counter(prefix + "reads"),
+		cases:      reg.Counter(prefix + "cases"),
+		bytes:      reg.Counter(prefix + "bytes_written"),
+		chains:     reg.Counter(prefix + "chains"),
+		chainedWRs: reg.Counter(prefix + "chained_wrs"),
+		inline:     reg.Counter(prefix + "inline_writes"),
+		unsignaled: reg.Counter(prefix + "unsignaled"),
+		writeLat:   reg.Histogram(prefix+"write_latency", nil),
+		readLat:    reg.Histogram(prefix+"read_latency", nil),
+		casLat:     reg.Histogram(prefix+"cas_latency", nil),
 	}
 }
 
@@ -290,19 +338,34 @@ func (qp *QP) To() NodeID { return qp.to.id }
 // post charges the post cost to the sender CPU and then runs fire, which
 // performs the wire-side work. If the sender has crashed nothing happens.
 func (qp *QP) post(fire func()) {
+	qp.postCost(qp.fabric().lat.PostCost, fire)
+}
+
+// postCost is post with an explicit sender CPU charge, used by inline posts
+// and verb chains whose doorbell cost differs from a plain post.
+func (qp *QP) postCost(cost sim.Duration, fire func()) {
 	if qp.from.crashed {
 		return
 	}
-	qp.from.CPU.Exec(qp.fabric().lat.PostCost, fire)
+	qp.from.CPU.Exec(cost, fire)
 }
 
 func (qp *QP) fabric() *Fabric { return qp.from.fabric }
 
 // landAt computes the (in-order) delivery time for a payload of n bytes
-// posted now, and advances the QP's ordering horizon.
-func (qp *QP) landAt(n int) sim.Time {
+// posted now, and advances the QP's ordering horizon. Inline posts skip the
+// NIC's DMA read of the payload and land InlineDMASaving earlier; the clamp
+// to the horizon keeps RC ordering regardless.
+func (qp *QP) landAt(n int, inline bool) sim.Time {
 	f := qp.fabric()
-	t := f.eng.Now() + sim.Time(f.lat.WireLatency+f.lat.transfer(n))
+	wire := f.lat.WireLatency
+	if inline {
+		wire -= f.lat.InlineDMASaving
+		if wire < 0 {
+			wire = 0
+		}
+	}
+	t := f.eng.Now() + sim.Time(wire+f.lat.transfer(n))
 	if t <= qp.lastLand {
 		t = qp.lastLand + 1
 	}
@@ -356,18 +419,32 @@ func (qp *QP) failLocal(cb func(error)) {
 // successful completion implies the data is in remote memory.
 func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
 	buf := append([]byte(nil), data...)
-	qp.post(func() {
+	lat := qp.fabric().lat
+	inline := lat.inline(len(buf))
+	cost := lat.PostCost
+	if inline {
+		cost += lat.InlineCost
+	}
+	qp.postCost(cost, func() {
 		f := qp.fabric()
 		f.stats.Writes++
 		f.stats.BytesWritten += uint64(len(buf))
 		qp.m.writes.Inc()
 		qp.m.bytes.Add(uint64(len(buf)))
+		if inline {
+			f.stats.InlineWrites++
+			qp.m.inline.Inc()
+		}
+		if onDone == nil {
+			f.stats.Unsignaled++
+			qp.m.unsignaled.Inc()
+		}
 		if qp.to.crashed {
 			qp.failLocal(onDone)
 			return
 		}
 		posted := f.eng.Now()
-		landed := qp.landAt(len(buf))
+		landed := qp.landAt(len(buf), inline)
 		qp.m.writeLat.Observe(sim.Duration(landed-posted) + f.lat.AckLatency)
 		f.eng.At(landed, func() {
 			if qp.to.crashed { // crashed while in flight
@@ -387,6 +464,123 @@ func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
 	})
 }
 
+// WR is one write request in a verb chain posted via PostChain.
+type WR struct {
+	Region string
+	Off    int
+	Data   []byte
+}
+
+// PostChain posts wrs as a single linked chain of WRITE work requests: one
+// ibv_post_send, one doorbell. The first WR pays the full PostCost; each
+// subsequent WR pays only ChainedPostCost. Payloads at or under
+// InlineThreshold post inline (see Write). Intermediate WRs are unsignaled —
+// only the tail generates a CQE, delivered to onDone — so a chain pays at
+// most one PollCost. RC ordering still applies WR-by-WR: the tail's
+// completion implies every WR in the chain has landed.
+//
+// Failure semantics follow an RC QP transitioning to the error state: the
+// first WR to fail (permission, bounds, target crash) records the chain
+// error, subsequent WRs are flushed without touching remote memory, and the
+// tail completion reports that first error. A target already crashed at the
+// doorbell fails the whole chain through the usual FailTimeout path.
+//
+// Data is copied at post time. A chain of one WR degenerates to Write; an
+// empty chain is a no-op.
+func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
+	switch len(wrs) {
+	case 0:
+		return
+	case 1:
+		qp.Write(wrs[0].Region, wrs[0].Off, wrs[0].Data, onDone)
+		return
+	}
+	lat := qp.fabric().lat
+	type chained struct {
+		region string
+		off    int
+		buf    []byte
+		inline bool
+	}
+	chain := make([]chained, len(wrs))
+	cost := lat.PostCost + sim.Duration(len(wrs)-1)*lat.ChainedPostCost
+	for i, wr := range wrs {
+		buf := append([]byte(nil), wr.Data...)
+		il := lat.inline(len(buf))
+		if il {
+			cost += lat.InlineCost
+		}
+		chain[i] = chained{region: wr.Region, off: wr.Off, buf: buf, inline: il}
+	}
+	qp.postCost(cost, func() {
+		f := qp.fabric()
+		f.stats.Chains++
+		f.stats.ChainedWRs += uint64(len(chain) - 1)
+		qp.m.chains.Inc()
+		qp.m.chainedWRs.Add(uint64(len(chain) - 1))
+		for _, w := range chain {
+			f.stats.Writes++
+			f.stats.BytesWritten += uint64(len(w.buf))
+			qp.m.writes.Inc()
+			qp.m.bytes.Add(uint64(len(w.buf)))
+			if w.inline {
+				f.stats.InlineWrites++
+				qp.m.inline.Inc()
+			}
+		}
+		unsig := uint64(len(chain) - 1)
+		if lat.ChainSignalAll {
+			unsig = 0
+		}
+		if onDone == nil {
+			unsig++
+		}
+		f.stats.Unsignaled += unsig
+		qp.m.unsignaled.Add(unsig)
+		if qp.to.crashed {
+			qp.failLocal(onDone)
+			return
+		}
+		posted := f.eng.Now()
+		var chainErr error
+		for i := range chain {
+			w := chain[i]
+			landed := qp.landAt(len(w.buf), w.inline)
+			last := i == len(chain)-1
+			if last {
+				qp.m.writeLat.Observe(sim.Duration(landed-posted) + lat.AckLatency)
+			}
+			f.eng.At(landed, func() {
+				switch {
+				case qp.to.crashed:
+					f.stats.Failed++
+					if chainErr == nil {
+						chainErr = ErrCrashed
+					}
+				case chainErr != nil:
+					// An earlier WR failed: the QP is in the error state and
+					// this WR flushes without landing.
+					f.stats.Failed++
+				default:
+					r := qp.to.regions[w.region]
+					err := checkAccess(r, qp.from.id, w.off, len(w.buf), true)
+					if err == nil {
+						copy(r.buf[w.off:], w.buf)
+					} else {
+						f.stats.Failed++
+						chainErr = err
+					}
+				}
+				if last {
+					qp.complete(landed, onDone, chainErr)
+				} else if lat.ChainSignalAll {
+					qp.complete(landed, func(error) {}, nil)
+				}
+			})
+		}
+	})
+}
+
 // Read posts a one-sided RDMA read of n bytes from (region, off) at the
 // target. onDone receives a copy of the remote bytes.
 func (qp *QP) Read(region string, off, n int, onDone func([]byte, error)) {
@@ -399,7 +593,7 @@ func (qp *QP) Read(region string, off, n int, onDone func([]byte, error)) {
 			return
 		}
 		posted := f.eng.Now()
-		landed := qp.landAt(0) // request is small; payload returns with the ack
+		landed := qp.landAt(0, false) // request is small; payload returns with the ack
 		// The response payload streams back at wire bandwidth over the same
 		// QP, so it occupies the in-order wire horizon: back-to-back large
 		// reads complete no faster than the wire can carry their payloads.
@@ -447,7 +641,7 @@ func (qp *QP) CAS(region string, off int, expect, swap uint64, onDone func(old u
 		// the CQE horizon, later completions), but not the wire delivery of
 		// subsequent verbs: CASExtra is remote-NIC latency, not wire
 		// occupancy.
-		landed := qp.landAt(8)
+		landed := qp.landAt(8, false)
 		responded := landed + sim.Time(f.lat.CASExtra)
 		qp.m.casLat.Observe(sim.Duration(responded-posted) + f.lat.AckLatency)
 		f.eng.At(landed, func() {
