@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet staticcheck race bench bench-snapshot benchstat fuzz check
+.PHONY: all build test vet staticcheck race bench bench-snapshot benchstat fuzz chaos check
 
 all: check
 
@@ -27,9 +27,17 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
+# chaos replays the committed fixed-seed plan corpus and the randomized
+# acceptance sweep through the nemesis runner. Failing plans are shrunk
+# and dumped as replayable JSON next to the test binary's working dir
+# (see `hambench -exp chaos -plan-json`).
+chaos:
+	$(GO) test -run 'TestCorpus|TestRandomizedPlans' -count=1 -v ./internal/chaos
+
 # check is the full pre-merge gate: tier-1 build + tests, static analysis,
-# the race detector, and a short fuzz budget over the wire-format parsers.
-check: build vet staticcheck test race fuzz
+# the race detector, a short fuzz budget over the wire-format parsers, and
+# the chaos plan corpus.
+check: build vet staticcheck test race fuzz chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics ./internal/ring

@@ -3,8 +3,14 @@
 //
 // Usage:
 //
-//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics]
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|chaos]
 //	         [-ops N] [-seed N] [-metrics-json FILE] [-chrome-trace FILE]
+//	         [-plans N] [-plan-json FILE] [-chaos-dir DIR]
+//
+// The chaos experiment explores -plans randomized, seed-reproducible fault
+// plans (node suspensions, link partitions, latency spikes, leader kills)
+// against live clusters and checks convergence, integrity, and exactly-once
+// delivery after heal; -plan-json replays one failing plan's JSON artifact.
 //
 // The metrics experiment runs one fully instrumented workload and prints
 // the percentile report; -metrics-json additionally dumps the raw registry
@@ -25,13 +31,14 @@ import (
 	"os"
 
 	"hamband/internal/bench"
+	"hamband/internal/chaos"
 	"hamband/internal/crdt"
 	"hamband/internal/schema"
 	"hamband/internal/spec"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, snapshot, benchstat")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, snapshot, benchstat, chaos")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
@@ -39,6 +46,9 @@ func main() {
 	snapshotOut := flag.String("snapshot-out", "BENCH.json", "output file for the snapshot experiment")
 	oldSnap := flag.String("old", "", "benchstat: baseline snapshot file")
 	newSnap := flag.String("new", "", "benchstat: current snapshot file")
+	plans := flag.Int("plans", 30, "chaos: number of randomized fault plans to explore")
+	planJSON := flag.String("plan-json", "", "chaos: replay one fault plan from FILE instead of exploring")
+	chaosDir := flag.String("chaos-dir", ".", "chaos: directory for failing-plan JSON dumps")
 	flag.Parse()
 
 	cfg := bench.Config{Ops: *ops, Seed: *seed, Out: os.Stdout}
@@ -76,10 +86,45 @@ func main() {
 		cfg.Metrics(fileWriter(*metricsJSON), fileWriter(*chromeTrace))
 	case "analysis":
 		printAnalyses()
+	case "chaos":
+		runChaos(cfg, *plans, *planJSON, *chaosDir)
 	default:
 		fmt.Fprintf(os.Stderr, "hambench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runChaos runs the chaos experiment: randomized seed-reproducible fault
+// plans by default, or a single-plan replay when -plan-json is given. A
+// nonzero exit reports that at least one plan violated an invariant probe.
+func runChaos(cfg bench.Config, plans int, planJSON, dumpDir string) {
+	if planJSON != "" {
+		f, err := os.Open(planJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := chaos.ReadPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		v, err := chaos.Run(plan, chaos.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replay %s\n", v.Summary())
+		if !v.Passed {
+			fmt.Print(chaos.FormatViolations(v))
+			os.Exit(1)
+		}
+		return
+	}
+	if cfg.Chaos(plans, dumpDir) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,18 @@
+package bench
+
+import "hamband/internal/chaos"
+
+// Chaos runs the chaos subsystem's randomized exploration as a benchmark
+// experiment: plans seed-generated fault schedules across the three
+// representative coordination classes (reducible counter, irreducible
+// orset, conflicting bankmap), executed by the nemesis runner with full
+// invariant probing. Failing plans are shrunk and dumped under dumpDir as
+// replayable JSON. Returns the number of failing plans.
+func (cfg Config) Chaos(plans int, dumpDir string) int {
+	failures, _ := chaos.Explore(cfg.Out, chaos.ExploreOptions{
+		Seed:    cfg.Seed,
+		Plans:   plans,
+		DumpDir: dumpDir,
+	})
+	return failures
+}

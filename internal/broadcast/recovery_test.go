@@ -1,0 +1,107 @@
+package broadcast
+
+import (
+	"testing"
+
+	"hamband/internal/metrics"
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+)
+
+// TestRecoverFromWhileReaderSuspendedMidRead pins down the backup-slot
+// recovery race the chaos runner's schedules exercise: a reader starts a
+// RecoverFrom sweep and is itself suspended while the backup-region read
+// is in flight. The snapshot is captured at the source when the read
+// lands, but the CQE callback queues on the suspended CPU, so the reader
+// processes a *stale* snapshot long after resuming — by which time the
+// source has freed and reused those slots for newer broadcasts. The dedup
+// watermark must absorb every message in the stale snapshot without
+// double-delivering or losing anything.
+//
+// Schedule (3 nodes, source 0, readers 1 and 2; tiny rings so slots stay
+// occupied under backpressure):
+//
+//	t=0        node 2 suspends; node 0 broadcasts 20 messages. Node 2's
+//	           ring fills, so in-flight broadcasts pin their backup slots
+//	           and the rest queue for a free slot.
+//	t=100µs    node 1 starts RecoverFrom(0): the backup read snapshots
+//	           the occupied slots at the source.
+//	t=101µs    node 1 suspends — read completion now parks on its CPU.
+//	t=150µs    node 2 resumes: rings drain, slots free and are reused.
+//	t=400µs    node 1 resumes and only now processes the stale snapshot,
+//	           plus everything that piled up in its own ring.
+//
+// Every message must be delivered exactly once at both readers.
+func TestRecoverFromWhileReaderSuspendedMidRead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RingCapacity = 128 // ~6 records: node 2's ring fills fast
+	cfg.BackupSlots = 4
+	cfg.BackupSlot = 128
+	eng := sim.NewEngine(31)
+	cfg.Metrics = metrics.New(eng)
+	fab := rdma.NewFabric(eng, 3, rdma.DefaultLatency())
+	Setup(fab, cfg)
+
+	const n = 20
+	got := make([]map[uint64]int, 3) // per node: seq -> delivery count
+	bcs := make([]*Broadcaster, 3)
+	rcs := make([]*Receiver, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		got[i] = make(map[uint64]int)
+		node := fab.Node(rdma.NodeID(i))
+		bcs[i] = NewBroadcaster(fab, node, cfg)
+		rcs[i] = NewReceiver(fab, node, cfg, func(src rdma.NodeID, seq uint64, payload []byte) {
+			if src != 0 {
+				t.Errorf("node %d delivered from unexpected source %d", i, src)
+			}
+			got[i][seq]++
+		})
+	}
+	recovered := cfg.Metrics.Counter("broadcast.backup_slots_recovered")
+
+	done := 0
+	eng.At(0, func() {
+		fab.Node(2).Suspend()
+		for i := 0; i < n; i++ {
+			if err := bcs[0].Broadcast([]byte{'m', byte('a' + i)}, func() { done++ }); err != nil {
+				t.Errorf("broadcast %d: %v", i, err)
+			}
+		}
+	})
+	eng.At(sim.Time(100*sim.Microsecond), func() {
+		if cfg.Metrics.Counter("broadcast.backup_slot_waits").Value() == 0 {
+			t.Error("no broadcast ever waited for a backup slot — backpressure never built, test is vacuous")
+		}
+		rcs[1].RecoverFrom(0)
+	})
+	eng.At(sim.Time(101*sim.Microsecond), func() { fab.Node(1).Suspend() })
+	eng.At(sim.Time(150*sim.Microsecond), func() { fab.Node(2).Resume() })
+	eng.At(sim.Time(400*sim.Microsecond), func() {
+		if v := recovered.Value(); v != 0 {
+			t.Errorf("snapshot processed while reader suspended (%d slots) — completion bypassed the CPU", v)
+		}
+		fab.Node(1).Resume()
+	})
+	eng.RunUntil(sim.Time(5 * sim.Millisecond))
+
+	if done != n {
+		t.Errorf("%d of %d broadcast completions fired", done, n)
+	}
+	if recovered.Value() == 0 {
+		t.Error("recovery sweep decoded no slots — the mid-read schedule never exercised the snapshot path")
+	}
+	for node := 1; node <= 2; node++ {
+		for seq := uint64(1); seq <= n; seq++ {
+			if c := got[node][seq]; c != 1 {
+				t.Errorf("node %d delivered seq %d %d times, want exactly once", node, seq, c)
+			}
+		}
+		if len(got[node]) != n {
+			t.Errorf("node %d delivered %d distinct seqs, want %d", node, len(got[node]), n)
+		}
+	}
+	if len(got[0]) != 0 {
+		t.Errorf("source delivered its own messages: %v", got[0])
+	}
+}

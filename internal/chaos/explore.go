@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ExploreOptions configures a randomized exploration run.
+type ExploreOptions struct {
+	Seed    int64    // base seed; plan i uses Seed+i
+	Plans   int      // total plans (default 30)
+	Classes []string // round-robined across plans (default counter, orset, bankmap)
+	Nodes   int      // cluster size per plan (default 4)
+	Ops     int      // workload updates per plan (default 120)
+	DumpDir string   // failing plans are written here (default ".")
+	Run     Options  // runner options shared by all plans
+}
+
+func (o ExploreOptions) withDefaults() ExploreOptions {
+	if o.Plans <= 0 {
+		o.Plans = 30
+	}
+	if len(o.Classes) == 0 {
+		o.Classes = []string{"counter", "orset", "bankmap"}
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Ops <= 0 {
+		o.Ops = 120
+	}
+	if o.DumpDir == "" {
+		o.DumpDir = "."
+	}
+	return o
+}
+
+// Explore generates and runs o.Plans randomized fault plans, round-robined
+// across o.Classes, printing one verdict line per plan to w. Each failing
+// plan is shrunk to a minimal reproducer and dumped as JSON under
+// o.DumpDir for replay with `hambench -exp chaos -plan-json FILE`. It
+// returns the number of failing plans and the dumped file paths.
+func Explore(w io.Writer, o ExploreOptions) (failures int, dumped []string) {
+	o = o.withDefaults()
+	fmt.Fprintf(w, "chaos exploration: %d plans, classes %v, %d nodes, %d ops/plan, base seed %d\n",
+		o.Plans, o.Classes, o.Nodes, o.Ops, o.Seed)
+	for i := 0; i < o.Plans; i++ {
+		class := o.Classes[i%len(o.Classes)]
+		plan := Generate(class, o.Nodes, o.Ops, o.Seed+int64(i))
+		v, err := Run(plan, o.Run)
+		if err != nil {
+			fmt.Fprintf(w, "plan %3d: %v\n", i, err)
+			failures++
+			continue
+		}
+		fmt.Fprintf(w, "plan %3d %s\n", i, v.Summary())
+		if v.Passed {
+			continue
+		}
+		failures++
+		fmt.Fprint(w, FormatViolations(v))
+		min := Shrink(plan, func(cand Plan) bool {
+			cv, err := Run(cand, o.Run)
+			return err == nil && !cv.Passed
+		})
+		if path, err := DumpPlan(o.DumpDir, min); err != nil {
+			fmt.Fprintf(w, "  (could not dump failing plan: %v)\n", err)
+		} else {
+			dumped = append(dumped, path)
+			fmt.Fprintf(w, "  shrunk to %d events; replay: hambench -exp chaos -plan-json %s\n",
+				len(min.Events), path)
+		}
+	}
+	fmt.Fprintf(w, "chaos exploration: %d/%d plans passed\n", o.Plans-failures, o.Plans)
+	return failures, dumped
+}
+
+// DumpPlan writes a plan to dir as a replayable JSON artifact named after
+// its class and seed, returning the path.
+func DumpPlan(dir string, p Plan) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("chaos-fail-%s-seed%d.json", p.Class, p.Seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := p.WriteJSON(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}

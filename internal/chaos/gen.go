@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+
+	"hamband/internal/sim"
+)
+
+// window is a planned down-interval used by the generator to respect the
+// majority-up constraint while composing a schedule.
+type window struct {
+	from, to sim.Time
+	node     int // -1: node unknown until run time (leaderkill)
+}
+
+func overlaps(a, b window) bool { return a.from < b.to && b.from < a.to }
+
+// Generate builds a randomized fault plan for class: a seed-deterministic
+// mix of suspend/resume windows, partitions, latency spikes and leader
+// kills over the workload's lifetime. Generated plans keep a majority of
+// nodes up at every instant (stalls still heal, but bounded-minority
+// schedules exercise recovery rather than just the final heal) and never
+// emit crashes — a dead NIC is outside the paper's failure model, whose
+// recovery reads depend on the suspect's NIC staying up.
+//
+// The same (class, nodes, ops, seed) always yields the same plan.
+func Generate(class string, nodes, ops int, seed int64) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Class: class, Nodes: nodes, Ops: ops, Seed: seed}
+
+	// The workload runs batches of 4 every 50 µs (the runner defaults);
+	// faults land anywhere in that span.
+	horizon := sim.Time(sim.Duration(ops/4+2) * 50 * sim.Microsecond)
+	at := func() sim.Time { return sim.Time(rng.Int63n(int64(horizon))) }
+	span := func() sim.Duration {
+		return sim.Duration(50+rng.Int63n(400)) * sim.Microsecond
+	}
+
+	maxDown := (nodes - 1) / 2
+	var downs []window
+	admissible := func(w window) bool {
+		concurrent := 1
+		for _, o := range downs {
+			if !overlaps(w, o) {
+				continue
+			}
+			if o.node == w.node || o.node == -1 || w.node == -1 {
+				return false // same node (or an unknown one) twice
+			}
+			concurrent++
+		}
+		return concurrent <= maxDown
+	}
+
+	for i, n := 0, 3+rng.Intn(6); i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 3: // suspend → resume window
+			w := window{node: rng.Intn(nodes)}
+			w.from = at()
+			w.to = w.from + sim.Time(span())
+			if !admissible(w) {
+				continue
+			}
+			downs = append(downs, w)
+			p.Events = append(p.Events,
+				Event{At: w.from, Kind: KindSuspend, Node: w.node},
+				Event{At: w.to, Kind: KindResume, Node: w.node})
+		case k < 6: // partition → heal window (parks traffic; majority unaffected)
+			a := rng.Intn(nodes)
+			b := rng.Intn(nodes - 1)
+			if b >= a {
+				b++
+			}
+			from := at()
+			p.Events = append(p.Events,
+				Event{At: from, Kind: KindPartition, A: a, B: b},
+				Event{At: from + sim.Time(span()), Kind: KindHeal, A: a, B: b})
+		case k < 8: // latency spike → clear window
+			a := rng.Intn(nodes)
+			b := rng.Intn(nodes - 1)
+			if b >= a {
+				b++
+			}
+			from := at()
+			extra := sim.Duration(2+rng.Int63n(9)) * sim.Microsecond
+			jitter := sim.Duration(rng.Int63n(3)) * sim.Microsecond
+			p.Events = append(p.Events,
+				Event{At: from, Kind: KindDelay, A: a, B: b, Extra: extra, Jitter: jitter},
+				Event{At: from + sim.Time(span()), Kind: KindDelay, A: a, B: b})
+		default: // leader kill; the victim stays down until the final heal
+			w := window{from: at(), to: horizon + 1, node: -1}
+			if !admissible(w) {
+				continue
+			}
+			downs = append(downs, w)
+			p.Events = append(p.Events, Event{At: w.from, Kind: KindLeaderKill, Group: rng.Intn(4)})
+		}
+	}
+
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}
+
+// Shrink greedily minimizes a failing plan: it repeatedly tries dropping
+// one event at a time, keeping any drop after which failing still reports
+// true, until no single event can be removed. failing is typically a
+// closure over Run; with ≤ a dozen events the quadratic pass stays cheap.
+func Shrink(p Plan, failing func(Plan) bool) Plan {
+	for {
+		removed := false
+		for i := 0; i < len(p.Events); i++ {
+			cand := p.Without(i)
+			if failing(cand) {
+				p = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return p
+		}
+	}
+}

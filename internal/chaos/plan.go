@@ -1,0 +1,182 @@
+// Package chaos is Hamband's deterministic fault-injection and schedule-
+// exploration subsystem. It executes *fault plans* — timed lists of node
+// and link faults — against a live simulated cluster while a randomized
+// workload runs, then heals everything, drives the system to quiescence and
+// checks the end-to-end properties the paper's refinement argument
+// promises (Lemma 3): all correct replicas converge to the same state, the
+// integrity invariant holds at every probed point, no acknowledged update
+// is lost, and every update is applied exactly once per replica.
+//
+// Everything is seed-reproducible: the same plan (which embeds its seed)
+// produces the same virtual-time trace, the same verdict and the same
+// trace hash, so a failing plan serialized to JSON is a portable,
+// replayable bug report. Randomized exploration (Generate) plus greedy
+// shrinking (Shrink) turn the runner into a search procedure: find a
+// violating schedule, then drop events one at a time while the violation
+// still reproduces, leaving a minimal counterexample.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hamband/internal/crdt"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+)
+
+// Kind names a fault-plan event type.
+type Kind string
+
+// Event kinds. Node faults follow the paper's failure model: Suspend stops
+// a node's process while its NIC keeps serving one-sided accesses (the
+// failure Hamband's recovery machinery is designed for); Crash kills the
+// NIC too and is outside the paper's assumptions — it is available for
+// explicit experiments but never emitted by the random generator. Link
+// faults model transient transport outages: a partitioned link parks verbs
+// at the NIC and retransmits them on heal (RC retry semantics).
+const (
+	KindSuspend    Kind = "suspend"    // suspend node Node (process stops, NIC serves)
+	KindResume     Kind = "resume"     // resume node Node
+	KindCrash      Kind = "crash"      // crash node Node (NIC dies; outside the paper's model)
+	KindPartition  Kind = "partition"  // cut both directions between nodes A and B
+	KindHeal       Kind = "heal"       // reconnect A and B, retransmitting parked verbs
+	KindDelay      Kind = "delay"      // latency spike Extra±Jitter on A↔B (zero clears)
+	KindLeaderKill Kind = "leaderkill" // suspend the current leader of sync group Group
+)
+
+// Event is one timed fault. Which fields are meaningful depends on Kind.
+type Event struct {
+	At     sim.Time     `json:"at"`               // virtual time, ns
+	Kind   Kind         `json:"kind"`             //
+	Node   int          `json:"node,omitempty"`   // suspend/resume/crash target
+	A      int          `json:"a,omitempty"`      // partition/heal/delay endpoint
+	B      int          `json:"b,omitempty"`      // partition/heal/delay endpoint
+	Extra  sim.Duration `json:"extra,omitempty"`  // delay: fixed extra latency, ns
+	Jitter sim.Duration `json:"jitter,omitempty"` // delay: uniform extra in [0,Jitter], ns
+	Group  int          `json:"group,omitempty"`  // leaderkill: synchronization group
+}
+
+// String renders an event for logs and violation reports.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindSuspend, KindResume, KindCrash:
+		return fmt.Sprintf("%v %s p%d", sim.Duration(e.At), e.Kind, e.Node)
+	case KindPartition, KindHeal:
+		return fmt.Sprintf("%v %s p%d-p%d", sim.Duration(e.At), e.Kind, e.A, e.B)
+	case KindDelay:
+		return fmt.Sprintf("%v delay p%d-p%d +%v±%v", sim.Duration(e.At), e.A, e.B, e.Extra, e.Jitter)
+	case KindLeaderKill:
+		return fmt.Sprintf("%v leaderkill g%d", sim.Duration(e.At), e.Group)
+	}
+	return fmt.Sprintf("%v %s", sim.Duration(e.At), e.Kind)
+}
+
+// Plan is a complete, self-describing fault schedule: the cluster shape,
+// the workload size, the seed that determines both the workload and every
+// jitter draw, and the timed fault events. A plan is the unit of replay —
+// running the same plan twice produces bit-identical traces.
+type Plan struct {
+	Class string `json:"class"` // data-type class (see Classes)
+	Nodes int    `json:"nodes"` // cluster size
+	Ops   int    `json:"ops"`   // workload updates to issue
+	Seed  int64  `json:"seed"`  // engine + workload seed
+
+	// NoFinalHeal skips the heal-everything step before the drain, leaving
+	// still-active faults in place. Suspended nodes then stay down and are
+	// excluded from the correctness probes (used by negative controls).
+	NoFinalHeal bool `json:"no_final_heal,omitempty"`
+
+	// DisableRecovery turns off the cluster's failure handling (no
+	// heartbeats, no detectors, no backup recovery, no leader change) —
+	// the negative-control configuration the probes must catch.
+	DisableRecovery bool `json:"disable_recovery,omitempty"`
+
+	Events []Event `json:"events"`
+}
+
+// Validate checks the plan is well-formed and names a known class.
+func (p Plan) Validate() error {
+	if _, ok := classRegistry[p.Class]; !ok {
+		return fmt.Errorf("chaos: unknown class %q (have %v)", p.Class, ClassNames())
+	}
+	if p.Nodes < 2 || p.Nodes > 64 {
+		return fmt.Errorf("chaos: nodes = %d, want 2..64", p.Nodes)
+	}
+	if p.Ops < 0 {
+		return fmt.Errorf("chaos: ops = %d", p.Ops)
+	}
+	node := func(i int) bool { return i >= 0 && i < p.Nodes }
+	for i, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("chaos: event %d at negative time", i)
+		}
+		switch e.Kind {
+		case KindSuspend, KindResume, KindCrash:
+			if !node(e.Node) {
+				return fmt.Errorf("chaos: event %d: node %d out of range", i, e.Node)
+			}
+		case KindPartition, KindHeal, KindDelay:
+			if !node(e.A) || !node(e.B) || e.A == e.B {
+				return fmt.Errorf("chaos: event %d: bad link p%d-p%d", i, e.A, e.B)
+			}
+		case KindLeaderKill:
+			if e.Group < 0 {
+				return fmt.Errorf("chaos: event %d: negative group", i)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d: unknown kind %q", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Without returns a copy of the plan with event i removed — the shrinking
+// step.
+func (p Plan) Without(i int) Plan {
+	q := p
+	q.Events = make([]Event, 0, len(p.Events)-1)
+	q.Events = append(q.Events, p.Events[:i]...)
+	q.Events = append(q.Events, p.Events[i+1:]...)
+	return q
+}
+
+// WriteJSON serializes the plan, indented for human diffing.
+func (p Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPlan parses and validates a JSON plan.
+func ReadPlan(r io.Reader) (Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("chaos: decoding plan: %w", err)
+	}
+	return p, p.Validate()
+}
+
+// classRegistry maps class names to constructors. Fresh instances per run
+// keep plans independent.
+var classRegistry = map[string]func() *spec.Class{
+	"counter":   crdt.NewCounter,
+	"pncounter": crdt.NewPNCounter,
+	"orset":     crdt.NewORSet,
+	"twopset":   crdt.NewTwoPSet,
+	"cart":      crdt.NewCart,
+	"account":   crdt.NewAccount,
+	"bankmap":   crdt.NewBankMap,
+}
+
+// ClassNames lists the classes plans can target, sorted.
+func ClassNames() []string {
+	names := make([]string, 0, len(classRegistry))
+	for n := range classRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

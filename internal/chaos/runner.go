@@ -1,0 +1,539 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hamband/internal/core"
+	"hamband/internal/crdt"
+	"hamband/internal/heartbeat"
+	"hamband/internal/metrics"
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+)
+
+// Options tunes the nemesis runner. The zero value is a complete, sensible
+// configuration.
+type Options struct {
+	IssuePeriod   sim.Duration // workload batch period (default 50 µs)
+	BatchSize     int          // updates per batch (default 4)
+	ProbePeriod   sim.Duration // integrity probe period (default 100 µs)
+	DrainDeadline sim.Duration // post-heal quiescence budget (default 50 ms)
+
+	// EnableMetrics attaches a metrics registry to the run; the registry
+	// is returned on the verdict for inspection (chaos.* counters plus the
+	// full rdma/core instrumentation).
+	EnableMetrics bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.IssuePeriod <= 0 {
+		o.IssuePeriod = 50 * sim.Microsecond
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4
+	}
+	if o.ProbePeriod <= 0 {
+		o.ProbePeriod = 100 * sim.Microsecond
+	}
+	if o.DrainDeadline <= 0 {
+		o.DrainDeadline = 50 * sim.Millisecond
+	}
+	return o
+}
+
+// Violation is one probe failure, anchored at the virtual time it was
+// detected.
+type Violation struct {
+	At     sim.Time `json:"at"`
+	Probe  string   `json:"probe"` // quiescence | convergence | integrity | lost-update | duplicate | invoke-error
+	Detail string   `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%v] %s: %s", sim.Duration(v.At), v.Probe, v.Detail)
+}
+
+// maxViolations bounds the report; a broken run can violate on every probe
+// tick and the first few entries carry all the signal.
+const maxViolations = 32
+
+// Verdict is the outcome of running one plan.
+type Verdict struct {
+	Plan       Plan
+	Passed     bool
+	Violations []Violation
+	Drained    bool // reached quiescence within the drain budget
+
+	Issued   int // update calls issued
+	Acked    int // calls acknowledged to the client
+	Rejected int // calls rejected as impermissible (not failures)
+
+	Makespan  sim.Duration // virtual time from start to verdict
+	TraceHash uint64       // FNV-1a over the virtual-time trace; equal seeds ⇒ equal hashes
+
+	Metrics *metrics.Registry // non-nil when Options.EnableMetrics
+}
+
+// Summary renders a one-line verdict for exploration logs.
+func (v *Verdict) Summary() string {
+	verdict := "PASS"
+	if !v.Passed {
+		verdict = fmt.Sprintf("FAIL(%d)", len(v.Violations))
+	}
+	return fmt.Sprintf("class=%-9s seed=%-6d events=%-2d issued=%-4d acked=%-4d makespan=%-10v hash=%016x %s",
+		v.Plan.Class, v.Plan.Seed, len(v.Plan.Events), v.Issued, v.Acked, v.Makespan, v.TraceHash, verdict)
+}
+
+// runner holds the live state of one plan execution.
+type runner struct {
+	plan    Plan
+	opts    Options
+	cls     *spec.Class
+	an      *spec.Analysis
+	eng     *sim.Engine
+	fab     *rdma.Fabric
+	cluster *core.Cluster
+	rng     *rand.Rand // workload randomness, independent of the engine's
+
+	down    []bool // suspended by the plan (includes leaderkill victims)
+	crashed []bool
+
+	acked   [][]uint32 // acked[p][u]: acknowledged updates by origin and method
+	pending []int      // in-flight calls by origin
+	v       *Verdict
+
+	cEvents, cCalls, cViolations *metrics.Counter
+}
+
+// Run executes one fault plan and returns its verdict. The run is fully
+// deterministic in the plan: equal plans produce equal verdicts and equal
+// trace hashes.
+func Run(p Plan, opts Options) (*Verdict, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	cls := classRegistry[p.Class]()
+	an := spec.MustAnalyze(cls)
+	eng := sim.NewEngine(p.Seed)
+	fab := rdma.NewFabric(eng, p.Nodes, rdma.DefaultLatency())
+
+	copts := core.DefaultOptions()
+	// Tight detector timings: plans play out over a few milliseconds, so
+	// suspicion must fire within tens of microseconds of a failure. The
+	// raised trust threshold avoids restore churn on flapping schedules.
+	copts.Heartbeat = heartbeat.Config{
+		BeatPeriod:     5 * sim.Microsecond,
+		CheckPeriod:    10 * sim.Microsecond,
+		Threshold:      3,
+		TrustThreshold: 2,
+	}
+	// Integrity is probed (and reported) rather than asserted: a violation
+	// must become a verdict, not a panic.
+	copts.CheckIntegrity = false
+	copts.DisableFailureHandling = p.DisableRecovery
+
+	r := &runner{
+		plan: p, opts: opts, cls: cls, an: an, eng: eng, fab: fab,
+		rng:     rand.New(rand.NewSource(p.Seed ^ 0x5DEECE66D)),
+		down:    make([]bool, p.Nodes),
+		crashed: make([]bool, p.Nodes),
+		pending: make([]int, p.Nodes),
+		v:       &Verdict{Plan: p},
+	}
+	if opts.EnableMetrics {
+		reg := metrics.New(eng)
+		copts.Metrics = reg
+		fab.EnableMetrics(reg)
+		r.v.Metrics = reg
+		r.cEvents = reg.Counter("chaos.events")
+		r.cCalls = reg.Counter("chaos.calls")
+		r.cViolations = reg.Counter("chaos.violations")
+	}
+	r.cluster = core.NewCluster(fab, an, copts)
+	for i := 0; i < p.Nodes; i++ {
+		r.acked = append(r.acked, make([]uint32, len(cls.Methods)))
+	}
+	r.run()
+	return r.v, nil
+}
+
+func (r *runner) run() {
+	// Schedule the nemesis events.
+	for _, e := range r.plan.Events {
+		e := e
+		r.eng.At(e.At, func() { r.apply(e) })
+	}
+
+	// Workload: batches of random updates from random live origins.
+	issueTick := r.eng.NewTicker(r.opts.IssuePeriod, r.issueBatch)
+
+	// Integrity probe: the invariant must hold at every queried point on
+	// every live replica.
+	probeTick := r.eng.NewTicker(r.opts.ProbePeriod, func() { r.probeIntegrity(false) })
+
+	// Run the schedule out: workload end or last event, whichever is later.
+	horizon := sim.Time(sim.Duration(r.plan.Ops/r.opts.BatchSize+2) * r.opts.IssuePeriod)
+	for _, e := range r.plan.Events {
+		if e.At >= horizon {
+			horizon = e.At + 1
+		}
+	}
+	r.eng.RunUntil(horizon)
+	issueTick.Cancel()
+
+	// Heal the world, then drive to quiescence.
+	if !r.plan.NoFinalHeal {
+		r.healAll()
+	}
+	r.v.Drained = r.drain()
+	probeTick.Cancel()
+
+	// Final probes over the quiescent state.
+	if !r.v.Drained {
+		r.violate("quiescence", fmt.Sprintf("not quiescent after %v drain: %d calls in flight from correct origins, replication incomplete=%v",
+			r.opts.DrainDeadline, r.pendingCorrect(), !r.replicated()))
+	} else {
+		r.probeConvergence()
+		r.probeExactlyOnce()
+	}
+	r.probeIntegrity(true)
+
+	r.v.Makespan = sim.Duration(r.eng.Now())
+	r.v.Passed = len(r.v.Violations) == 0
+	// Seal the trace hash with the end-of-run facts so verdict-affecting
+	// divergence always shows up in it.
+	r.fold(int64(r.eng.Now()), int64(r.v.Issued), int64(r.v.Acked), int64(len(r.v.Violations)))
+	r.cluster.Stop()
+}
+
+// apply executes one nemesis event at its scheduled time. Events are
+// forgiving — resuming a live node or healing an intact link is a no-op —
+// so shrinking can drop any single event and still leave a runnable plan.
+func (r *runner) apply(e Event) {
+	r.cEvents.Inc()
+	switch e.Kind {
+	case KindSuspend:
+		r.suspend(e.Node)
+	case KindResume:
+		r.resume(e.Node)
+	case KindCrash:
+		if !r.crashed[e.Node] {
+			r.crashed[e.Node] = true
+			r.fab.Node(rdma.NodeID(e.Node)).Crash()
+		}
+	case KindPartition:
+		r.fab.Partition(rdma.NodeID(e.A), rdma.NodeID(e.B))
+	case KindHeal:
+		r.fab.Heal(rdma.NodeID(e.A), rdma.NodeID(e.B))
+	case KindDelay:
+		r.fab.SetDelay(rdma.NodeID(e.A), rdma.NodeID(e.B), e.Extra, e.Jitter)
+	case KindLeaderKill:
+		r.leaderKill(e.Group)
+	}
+	r.fold(int64(r.eng.Now()), int64(kindIndex(e.Kind)), int64(e.Node), int64(e.A), int64(e.B))
+}
+
+func (r *runner) suspend(n int) {
+	if r.down[n] || r.crashed[n] {
+		return
+	}
+	r.down[n] = true
+	if b := r.cluster.Replica(spec.ProcID(n)).Beater(); b != nil {
+		b.Suspend()
+	}
+	r.fab.Node(rdma.NodeID(n)).Suspend()
+}
+
+func (r *runner) resume(n int) {
+	if !r.down[n] || r.crashed[n] {
+		return
+	}
+	r.down[n] = false
+	if b := r.cluster.Replica(spec.ProcID(n)).Beater(); b != nil {
+		b.Resume()
+	}
+	r.fab.Node(rdma.NodeID(n)).Resume()
+}
+
+// leaderKill suspends the current leader of synchronization group g, as
+// seen by the lowest-id live replica. Classes without conflicting methods
+// have no leaders; the kill then falls on the lowest-id live node so the
+// event still perturbs something.
+func (r *runner) leaderKill(g int) {
+	obs := r.firstLive()
+	if obs < 0 {
+		return
+	}
+	victim := obs
+	if len(r.an.SyncGroups) > 0 {
+		victim = int(r.cluster.Leader(spec.ProcID(obs), g%len(r.an.SyncGroups)))
+	}
+	r.suspend(victim)
+}
+
+func (r *runner) firstLive() int {
+	for i := 0; i < r.plan.Nodes; i++ {
+		if !r.down[i] && !r.crashed[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// healAll lifts every remaining fault: suspended nodes resume and all link
+// faults clear, releasing parked traffic. Crashed nodes stay dead.
+func (r *runner) healAll() {
+	for i := 0; i < r.plan.Nodes; i++ {
+		r.resume(i)
+	}
+	r.fab.HealAll()
+	r.fold(int64(r.eng.Now()), -1) // mark the heal in the trace
+}
+
+// issueBatch issues up to BatchSize updates from random live origins.
+func (r *runner) issueBatch() {
+	if r.v.Issued >= r.plan.Ops {
+		return
+	}
+	ups := r.cls.UpdateMethods()
+	for i := 0; i < r.opts.BatchSize && r.v.Issued < r.plan.Ops; i++ {
+		var live []int
+		for n := 0; n < r.plan.Nodes; n++ {
+			if !r.down[n] && !r.crashed[n] {
+				live = append(live, n)
+			}
+		}
+		if len(live) == 0 {
+			return
+		}
+		origin := spec.ProcID(live[r.rng.Intn(len(live))])
+		u := ups[r.rng.Intn(len(ups))]
+		call := r.cls.Gen.Call(r.rng, u)
+		fixTags(&call, origin, uint64(r.v.Issued)+1)
+		r.invoke(origin, u, call.Args)
+	}
+}
+
+func (r *runner) invoke(origin spec.ProcID, u spec.MethodID, args spec.Args) {
+	r.v.Issued++
+	r.cCalls.Inc()
+	r.pending[origin]++
+	r.cluster.Replica(origin).Invoke(u, args, func(_ any, err error) {
+		r.pending[origin]--
+		code := int64(0)
+		switch {
+		case err == nil:
+			r.acked[origin][u]++
+			r.v.Acked++
+		case errors.Is(err, core.ErrImpermissible):
+			r.v.Rejected++
+			code = 1
+		case errors.Is(err, core.ErrDown):
+			code = 2
+		default:
+			code = 3
+			r.violate("invoke-error", fmt.Sprintf("p%d %s: %v", origin, r.cls.Methods[u].Name, err))
+		}
+		r.fold(int64(r.eng.Now()), int64(origin), int64(u), code)
+	})
+}
+
+// fixTags rewrites tag-bearing arguments to be globally unique, as the
+// class generators expect the driver to do.
+func fixTags(call *spec.Call, p spec.ProcID, salt uint64) {
+	switch {
+	case call.Method == crdt.ORSetAdd && len(call.Args.I) >= 2:
+		call.Args.I[1] = crdt.Tag(p, salt)
+	case call.Method == crdt.CartAdd && len(call.Args.I) >= 3:
+		call.Args.I[2] = crdt.Tag(p, salt)
+	}
+}
+
+// correct reports whether node n should satisfy the end-state probes: it
+// never crashed and is not (still) suspended.
+func (r *runner) correct(n int) bool { return !r.down[n] && !r.crashed[n] }
+
+// pendingCorrect counts in-flight calls whose origin is correct; calls
+// stranded on a dead origin can never complete and are exempt.
+func (r *runner) pendingCorrect() int {
+	total := 0
+	for n, c := range r.pending {
+		if r.correct(n) {
+			total += c
+		}
+	}
+	return total
+}
+
+// replicated reports whether every correct replica has applied at least
+// every acknowledged update from every correct origin.
+func (r *runner) replicated() bool {
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.correct(n) {
+			continue
+		}
+		applied := r.cluster.Replica(spec.ProcID(n)).Applied()
+		for p := 0; p < r.plan.Nodes; p++ {
+			if !r.correct(p) {
+				continue
+			}
+			for u, want := range r.acked[p] {
+				if applied.Get(spec.ProcID(p), spec.MethodID(u)) < want {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// drain runs the simulation until quiescence — no in-flight calls from
+// correct origins and full replication — or the drain budget expires.
+func (r *runner) drain() bool {
+	deadline := r.eng.Now() + sim.Time(r.opts.DrainDeadline)
+	for r.eng.Now() < deadline {
+		r.eng.RunFor(200 * sim.Microsecond)
+		if r.pendingCorrect() == 0 && r.replicated() {
+			return true
+		}
+	}
+	return false
+}
+
+// probeConvergence checks all correct replicas reached identical states.
+func (r *runner) probeConvergence() {
+	ref := -1
+	var refState spec.State
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.correct(n) {
+			continue
+		}
+		st := r.cluster.Replica(spec.ProcID(n)).CurrentState()
+		if refState == nil {
+			ref, refState = n, st
+			continue
+		}
+		if !refState.Equal(st) {
+			r.violate("convergence", fmt.Sprintf("replicas p%d and p%d hold different states after heal+drain", ref, n))
+		}
+	}
+}
+
+// probeExactlyOnce checks the applied-call counts: every acknowledged
+// update from a correct origin is applied exactly once at every correct
+// replica — fewer is a lost update, more is a duplicate delivery.
+func (r *runner) probeExactlyOnce() {
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.correct(n) {
+			continue
+		}
+		applied := r.cluster.Replica(spec.ProcID(n)).Applied()
+		for p := 0; p < r.plan.Nodes; p++ {
+			if !r.correct(p) {
+				continue
+			}
+			for u, want := range r.acked[p] {
+				got := applied.Get(spec.ProcID(p), spec.MethodID(u))
+				switch {
+				case got < want:
+					r.violate("lost-update", fmt.Sprintf("p%d applied %d of %d acked %s calls from p%d",
+						n, got, want, r.cls.Methods[u].Name, p))
+				case got > want:
+					r.violate("duplicate", fmt.Sprintf("p%d applied %d %s calls from p%d but only %d were acked",
+						n, got, r.cls.Methods[u].Name, p, want))
+				}
+			}
+		}
+	}
+}
+
+// probeIntegrity checks the class invariant on every live replica's
+// current state. Transient violations during the run are real violations:
+// integrity must hold at every queried point (§3, integrity).
+func (r *runner) probeIntegrity(final bool) {
+	if r.cls.TrivialInvariant || r.cls.Invariant == nil {
+		return
+	}
+	for n := 0; n < r.plan.Nodes; n++ {
+		if r.down[n] || r.crashed[n] {
+			continue
+		}
+		if !r.cls.Invariant(r.cluster.Replica(spec.ProcID(n)).CurrentState()) {
+			when := "during run"
+			if final {
+				when = "after heal+drain"
+			}
+			r.violate("integrity", fmt.Sprintf("invariant violated at p%d (%s)", n, when))
+			return // one report per probe tick is enough
+		}
+	}
+}
+
+func (r *runner) violate(probe, detail string) {
+	r.cViolations.Inc()
+	if len(r.v.Violations) >= maxViolations {
+		return
+	}
+	r.v.Violations = append(r.v.Violations, Violation{At: r.eng.Now(), Probe: probe, Detail: detail})
+}
+
+// --- trace hashing ---------------------------------------------------------
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fold mixes vals into the verdict's FNV-1a trace hash. Every nemesis
+// action and call completion folds (with its virtual timestamp), so two
+// runs with the same hash took the same schedule through the same trace.
+func (r *runner) fold(vals ...int64) {
+	h := r.v.TraceHash
+	if h == 0 {
+		h = fnvOffset
+	}
+	for _, v := range vals {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= fnvPrime
+			u >>= 8
+		}
+	}
+	r.v.TraceHash = h
+}
+
+func kindIndex(k Kind) int {
+	switch k {
+	case KindSuspend:
+		return 1
+	case KindResume:
+		return 2
+	case KindCrash:
+		return 3
+	case KindPartition:
+		return 4
+	case KindHeal:
+		return 5
+	case KindDelay:
+		return 6
+	case KindLeaderKill:
+		return 7
+	}
+	return 0
+}
+
+// FormatViolations renders a verdict's violations, one per line.
+func FormatViolations(v *Verdict) string {
+	var b strings.Builder
+	for _, viol := range v.Violations {
+		fmt.Fprintf(&b, "  %s\n", viol)
+	}
+	return b.String()
+}

@@ -336,6 +336,7 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		r.beater = heartbeat.NewBeater(c.Fab.Engine(), r.node, c.Opts.Heartbeat.BeatPeriod)
 		r.detector = heartbeat.NewDetector(c.Fab, r.node, c.Opts.Heartbeat)
 		r.detector.OnSuspect = r.onSuspect
+		r.detector.OnRestore = r.onRestore
 	}
 
 	// Pollers.

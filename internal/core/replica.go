@@ -698,6 +698,19 @@ func (r *Replica) onSuspect(peer rdma.NodeID) {
 	}
 }
 
+// onRestore reacts to a suspected peer coming back: re-run the recovery
+// sweep once more. During the suspicion window the peer's backup slots and
+// summary row were moving targets — a recovery read may have raced a slot
+// being cleared or a summary being rewritten — so one more idempotent pass
+// after the peer is trusted again closes the window. Without it, a summary
+// whose propagating write was lost to the outage is only repaired when the
+// peer's *next* call happens to rewrite the slot.
+func (r *Replica) onRestore(peer rdma.NodeID) {
+	r.opts.Tracer.Record(int(r.id), trace.Suspect, "", fmt.Sprintf("restores p%d", peer))
+	r.rx.RecoverFrom(peer)
+	r.repairSummaries(peer)
+}
+
 // isSuccessor reports whether this node is the first non-suspected node
 // after peer in ring order — the deterministic candidate choice.
 func (r *Replica) isSuccessor(peer rdma.NodeID) bool {

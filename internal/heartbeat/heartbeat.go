@@ -25,24 +25,53 @@ const RegionName = "hb"
 // RegionSize is the heartbeat region's size.
 const RegionSize = 8
 
-// Config holds detector timing parameters.
+// Config holds detector timing parameters. The zero value of every field
+// means "use the default", so a zero Config behaves exactly like
+// DefaultConfig() and partial configs (chaos runs tighten one or two knobs)
+// only override what they set.
 type Config struct {
 	BeatPeriod  sim.Duration // counter increment period
 	CheckPeriod sim.Duration // remote read period
 	Threshold   int          // consecutive stale checks before suspicion
+
+	// TrustThreshold is the number of consecutive advancing checks a
+	// suspected peer must pass before it is restored. The default (1)
+	// restores on the first sign of life; chaos configurations raise it to
+	// ride out flapping links without suspect/restore churn.
+	TrustThreshold int
 
 	// Metrics, when non-nil, receives suspicion/restore counters.
 	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns timings in line with microsecond-scale RDMA
-// deployments: 10 µs beats, 25 µs checks, suspicion after 3 stale checks.
+// deployments: 10 µs beats, 25 µs checks, suspicion after 3 stale checks,
+// restore after 1 advancing check.
 func DefaultConfig() Config {
 	return Config{
-		BeatPeriod:  10 * sim.Microsecond,
-		CheckPeriod: 25 * sim.Microsecond,
-		Threshold:   3,
+		BeatPeriod:     10 * sim.Microsecond,
+		CheckPeriod:    25 * sim.Microsecond,
+		Threshold:      3,
+		TrustThreshold: 1,
 	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.BeatPeriod <= 0 {
+		c.BeatPeriod = def.BeatPeriod
+	}
+	if c.CheckPeriod <= 0 {
+		c.CheckPeriod = def.CheckPeriod
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = def.Threshold
+	}
+	if c.TrustThreshold <= 0 {
+		c.TrustThreshold = def.TrustThreshold
+	}
+	return c
 }
 
 // Register registers the heartbeat region on a node before starting
@@ -64,8 +93,12 @@ type Beater struct {
 	ticker    *sim.Ticker
 }
 
-// NewBeater starts a heartbeat thread on node with the given period.
+// NewBeater starts a heartbeat thread on node with the given period; a
+// non-positive period uses the default.
 func NewBeater(eng *sim.Engine, node *rdma.Node, period sim.Duration) *Beater {
+	if period <= 0 {
+		period = DefaultConfig().BeatPeriod
+	}
 	b := &Beater{node: node, region: node.Region(RegionName)}
 	b.ticker = eng.NewTicker(period, b.beat)
 	return b
@@ -97,6 +130,8 @@ type Detector struct {
 
 	lastSeen  []uint64
 	misses    []int
+	advances  []int  // consecutive advancing checks while suspected
+	inflight  []bool // a check read is outstanding to this peer
 	suspected []bool
 	ticker    *sim.Ticker
 
@@ -112,6 +147,7 @@ type Detector struct {
 
 // NewDetector starts a failure detector on node.
 func NewDetector(fab *rdma.Fabric, node *rdma.Node, cfg Config) *Detector {
+	cfg = cfg.withDefaults()
 	n := fab.Size()
 	d := &Detector{
 		fab:         fab,
@@ -119,6 +155,8 @@ func NewDetector(fab *rdma.Fabric, node *rdma.Node, cfg Config) *Detector {
 		cfg:         cfg,
 		lastSeen:    make([]uint64, n),
 		misses:      make([]int, n),
+		advances:    make([]int, n),
+		inflight:    make([]bool, n),
 		suspected:   make([]bool, n),
 		mSuspicions: cfg.Metrics.Counter("heartbeat.suspicions"),
 		mRestores:   cfg.Metrics.Counter("heartbeat.restores"),
@@ -134,17 +172,22 @@ func (d *Detector) Stop() { d.ticker.Cancel() }
 func (d *Detector) Suspected(peer rdma.NodeID) bool { return d.suspected[peer] }
 
 // check posts one heartbeat read per peer; results are handled
-// asynchronously as completions arrive.
+// asynchronously as completions arrive. At most one read is outstanding per
+// peer: a read stalled on a slow or partitioned link suppresses further
+// checks of that peer instead of queueing behind itself, so a heal is met
+// by one (fresh) verdict rather than a burst of stale ones.
 func (d *Detector) check() {
 	if d.node.Suspended() || d.node.Crashed() {
 		return
 	}
 	for peer := 0; peer < d.fab.Size(); peer++ {
 		peer := rdma.NodeID(peer)
-		if peer == d.node.ID() {
+		if peer == d.node.ID() || d.inflight[peer] {
 			continue
 		}
+		d.inflight[peer] = true
 		d.node.QP(peer).Read(RegionName, 0, 8, func(data []byte, err error) {
+			d.inflight[peer] = false
 			if err != nil {
 				d.miss(peer) // crashed NIC: immediate miss
 				return
@@ -153,17 +196,30 @@ func (d *Detector) check() {
 			if count > d.lastSeen[peer] {
 				d.lastSeen[peer] = count
 				d.misses[peer] = 0
-				if d.suspected[peer] {
-					d.suspected[peer] = false
-					d.mRestores.Inc()
-					if d.OnRestore != nil {
-						d.OnRestore(peer)
-					}
-				}
+				d.advance(peer)
 				return
 			}
+			d.advances[peer] = 0
 			d.miss(peer)
 		})
+	}
+}
+
+// advance records an advancing check and restores the peer once it has
+// passed TrustThreshold of them in a row.
+func (d *Detector) advance(peer rdma.NodeID) {
+	if !d.suspected[peer] {
+		return
+	}
+	d.advances[peer]++
+	if d.advances[peer] < d.cfg.TrustThreshold {
+		return
+	}
+	d.advances[peer] = 0
+	d.suspected[peer] = false
+	d.mRestores.Inc()
+	if d.OnRestore != nil {
+		d.OnRestore(peer)
 	}
 }
 

@@ -121,6 +121,9 @@ type Stats struct {
 	ChainedWRs   uint64 // WRs that rode an earlier WR's doorbell
 	InlineWrites uint64 // writes posted inline (payload ≤ InlineThreshold)
 	Unsignaled   uint64 // writes whose completion was suppressed (no CQE)
+
+	Partitions uint64 // directed-link partitions installed (fault injection)
+	Parked     uint64 // verbs parked at the NIC by a partitioned link
 }
 
 // Fabric is a simulated RDMA network connecting a fixed set of nodes.
@@ -130,6 +133,14 @@ type Fabric struct {
 	nodes []*Node
 	stats Stats
 	reg   *metrics.Registry
+
+	// links holds per-directed-link injected faults (see fault.go). It
+	// stays nil until the first fault is installed, so the fault-free verb
+	// path pays only a nil map lookup.
+	links map[linkKey]*linkState
+
+	mParked     *metrics.Counter // verbs parked by partitioned links
+	mPartitions *metrics.Counter // link partitions installed
 }
 
 // NewFabric creates a fabric with n nodes using the given cost model.
@@ -167,6 +178,8 @@ func (f *Fabric) Stats() Stats { return f.stats }
 // A nil registry (the default) costs nothing on the verb paths.
 func (f *Fabric) EnableMetrics(reg *metrics.Registry) {
 	f.reg = reg
+	f.mParked = reg.Counter("rdma.parked_verbs")
+	f.mPartitions = reg.Counter("rdma.link_partitions")
 	for _, n := range f.nodes {
 		for _, qp := range n.qps {
 			qp.instrument(reg)
@@ -342,12 +355,14 @@ func (qp *QP) post(fire func()) {
 }
 
 // postCost is post with an explicit sender CPU charge, used by inline posts
-// and verb chains whose doorbell cost differs from a plain post.
+// and verb chains whose doorbell cost differs from a plain post. The
+// wire-side fire stage runs through the link-fault gate: a partitioned link
+// parks the verb at the NIC until heal (see fault.go).
 func (qp *QP) postCost(cost sim.Duration, fire func()) {
 	if qp.from.crashed {
 		return
 	}
-	qp.from.CPU.Exec(cost, fire)
+	qp.from.CPU.Exec(cost, func() { qp.gate(fire) })
 }
 
 func (qp *QP) fabric() *Fabric { return qp.from.fabric }
@@ -365,6 +380,7 @@ func (qp *QP) landAt(n int, inline bool) sim.Time {
 			wire = 0
 		}
 	}
+	wire += qp.linkDelay() // injected latency spike + jitter, usually 0
 	t := f.eng.Now() + sim.Time(wire+f.lat.transfer(n))
 	if t <= qp.lastLand {
 		t = qp.lastLand + 1
