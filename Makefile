@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet staticcheck race bench bench-snapshot benchstat fuzz chaos check
+.PHONY: all build test vet staticcheck race bench bench-snapshot benchstat fuzz chaos conform cover check
 
 all: check
 
@@ -34,10 +34,22 @@ race:
 chaos:
 	$(GO) test -run 'TestCorpus|TestRandomizedPlans' -count=1 -v ./internal/chaos
 
+# conform runs the refinement conformance gate: the fixed-seed corpus
+# (fault-free and fault-plan workloads across the counter/orset/bankmap
+# classes, checked deterministic) plus the harness's own mutation test (an
+# injected apply-order bug must be caught and shrunk to <= 8 calls). See
+# `hambench -exp conform` for the exploratory version.
+conform:
+	$(GO) test -run 'TestConformCorpus|TestMutated' -count=1 -v ./internal/conform
+
+# cover prints per-package statement coverage so test gaps stay visible.
+cover:
+	$(GO) test -cover ./... | grep -v 'no test files'
+
 # check is the full pre-merge gate: tier-1 build + tests, static analysis,
-# the race detector, a short fuzz budget over the wire-format parsers, and
-# the chaos plan corpus.
-check: build vet staticcheck test race fuzz chaos
+# the race detector, a short fuzz budget over the wire-format parsers, the
+# chaos plan corpus and the refinement conformance corpus.
+check: build vet staticcheck test race fuzz chaos conform
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics ./internal/ring
@@ -61,3 +73,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeEntry -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeSlot -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRaw -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run=^$$ -fuzz=FuzzPlanJSON -fuzztime=$(FUZZTIME) ./internal/chaos

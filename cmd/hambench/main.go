@@ -3,14 +3,23 @@
 //
 // Usage:
 //
-//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|chaos]
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|chaos|conform]
 //	         [-ops N] [-seed N] [-metrics-json FILE] [-chrome-trace FILE]
 //	         [-plans N] [-plan-json FILE] [-chaos-dir DIR]
+//	         [-conform-seeds N] [-conform-dump DIR]
 //
 // The chaos experiment explores -plans randomized, seed-reproducible fault
 // plans (node suspensions, link partitions, latency spikes, leader kills)
 // against live clusters and checks convergence, integrity, and exactly-once
 // delivery after heal; -plan-json replays one failing plan's JSON artifact.
+//
+// The conform experiment runs -conform-seeds seeded random workloads (with
+// and without fault plans) with lifecycle tracing on and replays every
+// history through the abstract WRDT semantics, checking local
+// permissibility, conflict-synchronization, dependency preservation,
+// exactly-once delivery and query explainability; non-conforming histories
+// are shrunk and dumped under -conform-dump. -plan-json replays a single
+// dumped plan through the checker instead.
 //
 // The metrics experiment runs one fully instrumented workload and prints
 // the percentile report; -metrics-json additionally dumps the raw registry
@@ -32,13 +41,14 @@ import (
 
 	"hamband/internal/bench"
 	"hamband/internal/chaos"
+	"hamband/internal/conform"
 	"hamband/internal/crdt"
 	"hamband/internal/schema"
 	"hamband/internal/spec"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, snapshot, benchstat, chaos")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, snapshot, benchstat, chaos, conform")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
@@ -49,6 +59,8 @@ func main() {
 	plans := flag.Int("plans", 30, "chaos: number of randomized fault plans to explore")
 	planJSON := flag.String("plan-json", "", "chaos: replay one fault plan from FILE instead of exploring")
 	chaosDir := flag.String("chaos-dir", ".", "chaos: directory for failing-plan JSON dumps")
+	conformSeeds := flag.Int("conform-seeds", 12, "conform: number of seeded workloads to check")
+	conformDump := flag.String("conform-dump", ".", "conform: directory for shrunk counterexample dumps")
 	flag.Parse()
 
 	cfg := bench.Config{Ops: *ops, Seed: *seed, Out: os.Stdout}
@@ -88,6 +100,8 @@ func main() {
 		printAnalyses()
 	case "chaos":
 		runChaos(cfg, *plans, *planJSON, *chaosDir)
+	case "conform":
+		runConform(cfg, *conformSeeds, *planJSON, *conformDump)
 	default:
 		fmt.Fprintf(os.Stderr, "hambench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -124,6 +138,40 @@ func runChaos(cfg bench.Config, plans int, planJSON, dumpDir string) {
 		return
 	}
 	if cfg.Chaos(plans, dumpDir) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runConform runs the refinement conformance experiment: seeded random
+// workloads replayed through the abstract semantics, or a single-plan
+// replay when -plan-json is given. A nonzero exit reports at least one
+// non-conforming history.
+func runConform(cfg bench.Config, seeds int, planJSON, dumpDir string) {
+	if planJSON != "" {
+		f, err := os.Open(planJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := chaos.ReadPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := conform.Run(plan, chaos.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hambench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replay %s\n", res.Verdict.Summary())
+		fmt.Println(res.Report)
+		if !res.Conforms() {
+			os.Exit(1)
+		}
+		return
+	}
+	if cfg.Conform(seeds, dumpDir) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,21 @@
+package bench
+
+import "hamband/internal/conform"
+
+// Conform runs the runtime refinement conformance harness as a benchmark
+// experiment: seeded random workloads — alternating fault-free and
+// fault-plan schedules across the reducible counter, irreducible orset and
+// conflicting bankmap classes — are executed on live clusters with tracing
+// on, and every history is replayed through the abstract WRDT semantics
+// (permissibility, conflict order, dependency preservation, exactly-once,
+// query explainability). Non-conforming histories are shrunk to minimal
+// plans and dumped under dumpDir as replayable JSON. Returns the number of
+// non-conforming runs.
+func (cfg Config) Conform(seeds int, dumpDir string) int {
+	failures, _ := conform.Explore(cfg.Out, conform.ExploreOptions{
+		Seed:    cfg.Seed,
+		Seeds:   seeds,
+		DumpDir: dumpDir,
+	})
+	return failures
+}

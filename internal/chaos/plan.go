@@ -94,6 +94,11 @@ type Plan struct {
 	// the negative-control configuration the probes must catch.
 	DisableRecovery bool `json:"disable_recovery,omitempty"`
 
+	// MutateApplyOrder injects the core runtime's apply-order bug (buffers
+	// drain newest-first, dependency gate skipped) — the negative control
+	// the conformance harness's checks must catch.
+	MutateApplyOrder bool `json:"mutate_apply_order,omitempty"`
+
 	Events []Event `json:"events"`
 }
 
@@ -169,6 +174,15 @@ var classRegistry = map[string]func() *spec.Class{
 	"cart":      crdt.NewCart,
 	"account":   crdt.NewAccount,
 	"bankmap":   crdt.NewBankMap,
+}
+
+// Class returns a fresh instance of a registered class by name.
+func Class(name string) (*spec.Class, error) {
+	ctor, ok := classRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown class %q (have %v)", name, ClassNames())
+	}
+	return ctor(), nil
 }
 
 // ClassNames lists the classes plans can target, sorted.

@@ -13,6 +13,7 @@ import (
 	"hamband/internal/rdma"
 	"hamband/internal/sim"
 	"hamband/internal/spec"
+	"hamband/internal/trace"
 )
 
 // Options tunes the nemesis runner. The zero value is a complete, sensible
@@ -27,6 +28,18 @@ type Options struct {
 	// is returned on the verdict for inspection (chaos.* counters plus the
 	// full rdma/core instrumentation).
 	EnableMetrics bool
+
+	// TraceLimit, when positive, attaches a lifecycle tracer holding up to
+	// that many events; the tracer is returned on the verdict so the
+	// conformance harness can replay the history. Tracing costs no virtual
+	// time, so trace hashes are unchanged by it.
+	TraceLimit int
+
+	// QueryMix, when positive, issues one random query every QueryMix
+	// workload batches, alternating plain and recency-aware (InvokeFresh)
+	// evaluation. The conformance harness uses it so traces carry query
+	// results to explain; query errors during faults are not violations.
+	QueryMix int
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +89,8 @@ type Verdict struct {
 	TraceHash uint64       // FNV-1a over the virtual-time trace; equal seeds ⇒ equal hashes
 
 	Metrics *metrics.Registry // non-nil when Options.EnableMetrics
+	Trace   *trace.Tracer     // non-nil when Options.TraceLimit > 0
+	Correct []bool            // per node: eligible for end-state probes (never crashed, not still down)
 }
 
 // Summary renders a one-line verdict for exploration logs.
@@ -104,6 +119,7 @@ type runner struct {
 
 	acked   [][]uint32 // acked[p][u]: acknowledged updates by origin and method
 	pending []int      // in-flight calls by origin
+	batches int        // issue ticks seen (drives the query mix)
 	v       *Verdict
 
 	cEvents, cCalls, cViolations *metrics.Counter
@@ -137,6 +153,7 @@ func Run(p Plan, opts Options) (*Verdict, error) {
 	// must become a verdict, not a panic.
 	copts.CheckIntegrity = false
 	copts.DisableFailureHandling = p.DisableRecovery
+	copts.MutateApplyOrder = p.MutateApplyOrder
 
 	r := &runner{
 		plan: p, opts: opts, cls: cls, an: an, eng: eng, fab: fab,
@@ -154,6 +171,11 @@ func Run(p Plan, opts Options) (*Verdict, error) {
 		r.cEvents = reg.Counter("chaos.events")
 		r.cCalls = reg.Counter("chaos.calls")
 		r.cViolations = reg.Counter("chaos.violations")
+	}
+	if opts.TraceLimit > 0 {
+		tr := trace.New(eng, opts.TraceLimit)
+		copts.Tracer = tr
+		r.v.Trace = tr
 	}
 	r.cluster = core.NewCluster(fab, an, copts)
 	for i := 0; i < p.Nodes; i++ {
@@ -206,6 +228,10 @@ func (r *runner) run() {
 
 	r.v.Makespan = sim.Duration(r.eng.Now())
 	r.v.Passed = len(r.v.Violations) == 0
+	r.v.Correct = make([]bool, r.plan.Nodes)
+	for n := 0; n < r.plan.Nodes; n++ {
+		r.v.Correct[n] = r.correct(n)
+	}
 	// Seal the trace hash with the end-of-run facts so verdict-affecting
 	// divergence always shows up in it.
 	r.fold(int64(r.eng.Now()), int64(r.v.Issued), int64(r.v.Acked), int64(len(r.v.Violations)))
@@ -301,6 +327,10 @@ func (r *runner) issueBatch() {
 	if r.v.Issued >= r.plan.Ops {
 		return
 	}
+	r.batches++
+	if r.opts.QueryMix > 0 && r.batches%r.opts.QueryMix == 0 {
+		r.issueQuery()
+	}
 	ups := r.cls.UpdateMethods()
 	for i := 0; i < r.opts.BatchSize && r.v.Issued < r.plan.Ops; i++ {
 		var live []int
@@ -342,6 +372,41 @@ func (r *runner) invoke(origin spec.ProcID, u spec.MethodID, args spec.Args) {
 		}
 		r.fold(int64(r.eng.Now()), int64(origin), int64(u), code)
 	})
+}
+
+// issueQuery evaluates one random query at a random live origin. Results
+// land in the trace (for the conformance checker to explain), not in the
+// verdict: a query failing with ErrDown mid-fault is expected behavior.
+func (r *runner) issueQuery() {
+	qs := r.cls.QueryMethods()
+	if len(qs) == 0 {
+		return
+	}
+	var live []int
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.down[n] && !r.crashed[n] {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	origin := spec.ProcID(live[r.rng.Intn(len(live))])
+	q := qs[r.rng.Intn(len(qs))]
+	call := r.cls.Gen.Call(r.rng, q)
+	fresh := r.rng.Intn(2) == 0
+	done := func(_ any, err error) {
+		code := int64(0)
+		if err != nil {
+			code = 1
+		}
+		r.fold(int64(r.eng.Now()), int64(origin), int64(q), 16+code)
+	}
+	if fresh {
+		r.cluster.Replica(origin).InvokeFresh(q, call.Args, done)
+	} else {
+		r.cluster.Replica(origin).Invoke(q, call.Args, done)
+	}
 }
 
 // fixTags rewrites tag-bearing arguments to be globally unique, as the

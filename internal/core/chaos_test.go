@@ -161,6 +161,15 @@ func TestChaosCourseware(t *testing.T) {
 	}
 }
 
+// TestChaosCoursewareRegression560 pins the schedule a leftover debug
+// harness was chasing: courseware at seed 560 once applied a conflicting
+// call out of order during leader churn. The run must drain and converge
+// silently; with CheckIntegrity on in the harness, any recurrence panics
+// and fails the test.
+func TestChaosCoursewareRegression560(t *testing.T) {
+	runChaos(t, schema.NewCourseware(), 560, 200)
+}
+
 func TestChaosMovie(t *testing.T) {
 	// Two sync groups: both leaders can churn.
 	for seed := int64(40); seed <= 41; seed++ {

@@ -79,6 +79,12 @@ type Options struct {
 	// DisableFailureHandling turns off detectors and recovery (ablation).
 	DisableFailureHandling bool
 
+	// MutateApplyOrder deliberately breaks the apply pump: buffered calls
+	// apply newest-first and the dependency-record gate is skipped. It is a
+	// negative control for the conformance harness (an injected apply-order
+	// bug its checks must catch) and must never be set in production.
+	MutateApplyOrder bool
+
 	// Namespace isolates this cluster's memory regions and consensus
 	// groups, so several replicated objects can share one fabric. The
 	// heartbeat infrastructure is shared across namespaces.

@@ -15,9 +15,25 @@ import (
 // callID renders a call's request identity for traces.
 func callID(c spec.Call) string { return fmt.Sprintf("p%d#%d", c.Proc, c.Seq) }
 
+// tracing reports whether a tracer is attached; call sites that build
+// notes or payloads guard on it so the disabled path stays allocation-free.
+func (r *Replica) tracing() bool { return r.opts.Tracer != nil }
+
 // trace records a lifecycle event when tracing is enabled.
 func (r *Replica) trace(kind trace.Kind, c spec.Call, note string) {
+	if r.opts.Tracer == nil {
+		return
+	}
 	r.opts.Tracer.Record(int(r.id), kind, callID(c), note)
+}
+
+// traceData records a lifecycle event with a structured payload for the
+// conformance checker.
+func (r *Replica) traceData(kind trace.Kind, c spec.Call, note string, data any) {
+	if r.opts.Tracer == nil {
+		return
+	}
+	r.opts.Tracer.RecordData(int(r.id), kind, callID(c), note, data)
 }
 
 // Errors returned to clients through Invoke's callback.
@@ -46,6 +62,10 @@ func (r *Replica) Invoke(u spec.MethodID, args spec.Args, onDone func(result any
 		case spec.CatQuery:
 			r.node.CPU.Exec(r.opts.QueryCost, func() {
 				v := r.cls.Methods[u].Eval(r.queryState(), args)
+				if r.tracing() {
+					r.opts.Tracer.RecordData(int(r.id), trace.Query, "", r.cls.Methods[u].Name,
+						trace.QueryRecord{Method: u, Args: args, Result: v})
+				}
 				if onDone != nil {
 					onDone(v, nil)
 				}
@@ -156,7 +176,9 @@ func (r *Replica) assertIntegrity(context string) {
 
 func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any, error)) {
 	c := r.newCall(u, args)
-	r.trace(trace.Issue, c, r.cls.Methods[u].Name+" (reducible)")
+	if r.tracing() {
+		r.traceData(trace.Issue, c, r.cls.Methods[u].Name+" (reducible)", trace.CallRecord{C: c})
+	}
 	if !r.permissible(c) {
 		r.statRejected++
 		r.mRejected.Inc()
@@ -207,7 +229,12 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any,
 	r.statApplied++
 	r.mApplied.Inc()
 	r.assertIntegrity("reduce")
-	r.trace(trace.Reduce, c, fmt.Sprintf("summary v%d remote-written to %d peers", slot.version, r.n-1))
+	if r.tracing() {
+		r.traceData(trace.Reduce, c, fmt.Sprintf("summary v%d remote-written to %d peers", slot.version, r.n-1),
+			trace.SlotRecord{Group: g, Src: r.id, Version: slot.version, Sum: slot.call,
+				Counts: append([]uint32(nil), slot.counts...), C: &c})
+		r.traceData(trace.Complete, c, "response resolved", trace.AckRecord{OK: true})
+	}
 	r.kickApply() // counts advanced: dependent buffered calls may unblock
 	if onDone != nil {
 		onDone(nil, nil)
@@ -319,6 +346,12 @@ func (r *Replica) scanSummaries() {
 					r.mApplied.Inc()
 				}
 			}
+			if r.tracing() {
+				r.opts.Tracer.RecordData(int(r.id), trace.Adopt, "",
+					fmt.Sprintf("adopted slot g%d/p%d v%d from scan", g, p, ver),
+					trace.SlotRecord{Group: g, Src: spec.ProcID(p), Version: ver, Sum: call,
+						Counts: append([]uint32(nil), counts...)})
+			}
 			changed = true
 		}
 	}
@@ -333,7 +366,9 @@ func (r *Replica) scanSummaries() {
 
 func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, onDone func(any, error)) {
 	c := r.newCall(u, args)
-	r.trace(trace.Issue, c, r.cls.Methods[u].Name+" (irreducible conflict-free)")
+	if r.tracing() {
+		r.traceData(trace.Issue, c, r.cls.Methods[u].Name+" (irreducible conflict-free)", trace.CallRecord{C: c})
+	}
 	if !r.permissible(c) {
 		r.statRejected++
 		r.mRejected.Inc()
@@ -352,20 +387,27 @@ func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, onDone func(any, e
 		r.mApplied.Inc()
 		r.syncSpec(c)
 		r.assertIntegrity("free")
+		// The local apply is a fact from here on, whatever the broadcast
+		// does, so the trace records it before the send is attempted.
+		if r.tracing() {
+			r.traceData(trace.FreeSend, c, "applied locally, broadcast to F buffers", trace.CallRecord{C: c, D: d})
+		}
 		entry, err := codec.EncodeEntry(c, d)
+		if err == nil {
+			err = r.enqueueFree(entry)
+		}
 		if err != nil {
+			if r.tracing() {
+				r.traceData(trace.Complete, c, "response resolved: "+err.Error(), trace.AckRecord{})
+			}
 			if onDone != nil {
 				onDone(nil, err)
 			}
 			return
 		}
-		if berr := r.enqueueFree(entry); berr != nil {
-			if onDone != nil {
-				onDone(nil, berr)
-			}
-			return
+		if r.tracing() {
+			r.traceData(trace.Complete, c, "response resolved", trace.AckRecord{OK: true})
 		}
-		r.trace(trace.FreeSend, c, "applied locally, broadcast to F buffers")
 		r.kickApply()
 		if onDone != nil {
 			onDone(nil, nil)
@@ -447,8 +489,11 @@ const confFlagRejected = 1
 
 func (r *Replica) invokeConf(u spec.MethodID, args spec.Args, onDone func(any, error)) {
 	c := r.newCall(u, args)
-	r.trace(trace.Issue, c, fmt.Sprintf("%s (conflicting, group %d, leader p%d)",
-		r.cls.Methods[u].Name, r.an.SyncGroupOf[u], r.groups[r.an.SyncGroupOf[u]].Leader()))
+	if r.tracing() {
+		r.traceData(trace.Issue, c, fmt.Sprintf("%s (conflicting, group %d, leader p%d)",
+			r.cls.Methods[u].Name, r.an.SyncGroupOf[u], r.groups[r.an.SyncGroupOf[u]].Leader()),
+			trace.CallRecord{C: c})
+	}
 	g := r.an.SyncGroupOf[u]
 	if onDone != nil {
 		r.pendingConf[c.Seq] = onDone
@@ -499,7 +544,9 @@ func (r *Replica) leaderTransform(_ rdma.NodeID, payload []byte) []byte {
 	d := r.projectSpec(r.an.DependsOn[c.Method])
 	r.cls.ApplyCall(r.specState(), c)
 	r.specA[callKey2{c.Proc, c.Method}]++
-	r.trace(trace.Order, c, "sequenced at the leader (speculative)")
+	if r.tracing() {
+		r.traceData(trace.Order, c, "sequenced at the leader (speculative)", trace.CallRecord{C: c, D: d})
+	}
 	entry, eerr := codec.EncodeEntry(c, d)
 	if eerr != nil {
 		return payload
@@ -575,11 +622,13 @@ func (r *Replica) onConfDelivery(g int, _ rdma.NodeID, payload []byte) {
 func (r *Replica) complete(seq uint64, v any, err error) {
 	if cb, ok := r.pendingConf[seq]; ok {
 		delete(r.pendingConf, seq)
-		note := "response resolved"
-		if err != nil {
-			note = "response resolved: " + err.Error()
+		if r.tracing() {
+			note := "response resolved"
+			if err != nil {
+				note = "response resolved: " + err.Error()
+			}
+			r.traceData(trace.Complete, spec.Call{Proc: r.id, Seq: seq}, note, trace.AckRecord{OK: err == nil})
 		}
-		r.trace(trace.Complete, spec.Call{Proc: r.id, Seq: seq}, note)
 		cb(v, err)
 	}
 }
@@ -609,6 +658,19 @@ func (r *Replica) applyStep() {
 }
 
 func (r *Replica) anyApplicable() bool {
+	if r.opts.MutateApplyOrder {
+		for _, q := range r.fQueues {
+			if len(q) > 0 {
+				return true
+			}
+		}
+		for _, q := range r.lQueues {
+			if len(q) > 0 {
+				return true
+			}
+		}
+		return false
+	}
 	for _, q := range r.fQueues {
 		if len(q) > 0 && r.applied.Satisfies(q[0].d, r.an.DependsOn[q[0].c.Method]) {
 			return true
@@ -625,6 +687,9 @@ func (r *Replica) anyApplicable() bool {
 // applyOne applies the first applicable buffer head and reports whether it
 // did any work.
 func (r *Replica) applyOne() bool {
+	if r.opts.MutateApplyOrder {
+		return r.applyOneMutated()
+	}
 	for src := range r.fQueues {
 		if len(r.fQueues[src]) > 0 {
 			e := r.fQueues[src][0]
@@ -651,6 +716,32 @@ func (r *Replica) applyOne() bool {
 	return false
 }
 
+// applyOneMutated is the Options.MutateApplyOrder negative control: it
+// drains buffers newest-first and ignores the dependency-record gate —
+// the apply-order bug the conformance harness must catch.
+func (r *Replica) applyOneMutated() bool {
+	for src := range r.fQueues {
+		if n := len(r.fQueues[src]); n > 0 {
+			e := r.fQueues[src][n-1]
+			r.fQueues[src] = r.fQueues[src][:n-1]
+			r.applyEntry(e, "free-app")
+			return true
+		}
+	}
+	for g := range r.lQueues {
+		if n := len(r.lQueues[g]); n > 0 {
+			e := r.lQueues[g][n-1]
+			r.lQueues[g] = r.lQueues[g][:n-1]
+			r.applyEntry(e, "conf-app")
+			if e.c.Proc == r.id {
+				r.complete(e.c.Seq, nil, nil)
+			}
+			return true
+		}
+	}
+	return false
+}
+
 func (r *Replica) applyEntry(e pendingEntry, context string) {
 	r.cls.ApplyCall(r.sigma, e.c)
 	r.qDirty = true
@@ -658,8 +749,12 @@ func (r *Replica) applyEntry(e pendingEntry, context string) {
 	r.statApplied++
 	r.mApplied.Inc()
 	r.syncSpec(e.c)
-	r.assertIntegrity(context + " of " + e.c.Format(r.cls))
-	r.trace(trace.Apply, e.c, context)
+	if r.opts.CheckIntegrity {
+		r.assertIntegrity(context + " of " + e.c.Format(r.cls))
+	}
+	if r.tracing() {
+		r.traceData(trace.Apply, e.c, context, trace.CallRecord{C: e.c, D: e.d})
+	}
 }
 
 // syncSpec keeps the speculative view consistent as σ advances: a call this
@@ -687,7 +782,9 @@ func (r *Replica) syncSpec(c spec.Call) {
 // authoritative row, and run a leader change for any synchronization group
 // the suspect led (the successor in ring order stands as candidate).
 func (r *Replica) onSuspect(peer rdma.NodeID) {
-	r.opts.Tracer.Record(int(r.id), trace.Suspect, "", fmt.Sprintf("suspects p%d", peer))
+	if r.tracing() {
+		r.opts.Tracer.Record(int(r.id), trace.Suspect, "", fmt.Sprintf("suspects p%d", peer))
+	}
 	r.rx.RecoverFrom(peer)
 	r.repairSummaries(peer)
 	for g, in := range r.groups {
@@ -706,7 +803,9 @@ func (r *Replica) onSuspect(peer rdma.NodeID) {
 // whose propagating write was lost to the outage is only repaired when the
 // peer's *next* call happens to rewrite the slot.
 func (r *Replica) onRestore(peer rdma.NodeID) {
-	r.opts.Tracer.Record(int(r.id), trace.Suspect, "", fmt.Sprintf("restores p%d", peer))
+	if r.tracing() {
+		r.opts.Tracer.Record(int(r.id), trace.Suspect, "", fmt.Sprintf("restores p%d", peer))
+	}
 	r.rx.RecoverFrom(peer)
 	r.repairSummaries(peer)
 }
@@ -804,6 +903,10 @@ func (r *Replica) InvokeFresh(q spec.MethodID, args spec.Args, onDone func(resul
 			}
 			r.node.CPU.Exec(r.opts.QueryCost, func() {
 				v := r.cls.Methods[q].Eval(r.queryState(), args)
+				if r.tracing() {
+					r.opts.Tracer.RecordData(int(r.id), trace.Query, "", r.cls.Methods[q].Name,
+						trace.QueryRecord{Method: q, Args: args, Result: v, Fresh: true})
+				}
 				if onDone != nil {
 					onDone(v, nil)
 				}
@@ -857,6 +960,12 @@ func (r *Replica) adoptSlot(g int, p spec.ProcID, data []byte) bool {
 			r.statApplied++
 			r.mApplied.Inc()
 		}
+	}
+	if r.tracing() {
+		r.opts.Tracer.RecordData(int(r.id), trace.Adopt, "",
+			fmt.Sprintf("adopted slot g%d/p%d v%d from read", g, p, ver),
+			trace.SlotRecord{Group: g, Src: p, Version: ver, Sum: call,
+				Counts: append([]uint32(nil), counts...)})
 	}
 	r.qDirty = true
 	r.kickApply()

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"hamband/internal/sim"
+	"hamband/internal/spec"
 )
 
 // Event is one recorded lifecycle point.
@@ -25,6 +26,12 @@ type Event struct {
 	Kind Kind
 	Call string // request identity, e.g. "p0#3"; empty for node-level events
 	Note string
+
+	// Data optionally carries a structured payload — a CallRecord,
+	// SlotRecord, QueryRecord or AckRecord — that makes the event
+	// machine-checkable by the conformance harness (package conform).
+	// Human-oriented consumers (Format, the Chrome export) ignore it.
+	Data any
 }
 
 // Kind classifies lifecycle events.
@@ -42,7 +49,48 @@ const (
 	Complete Kind = "complete"  // response resolved at the origin
 	Suspect  Kind = "suspect"   // failure detector suspicion
 	Recover  Kind = "recover"   // recovery action (broadcast/summary/leader)
+	Query    Kind = "query"     // query evaluated at a replica
 )
+
+// CallRecord is the structured payload of Issue, FreeSend, Order and Apply
+// events: the full call and the dependency record attached to it on the
+// wire (nil for dependence-free methods). The conformance checker replays
+// these to reconstruct each replica's state evolution.
+type CallRecord struct {
+	C spec.Call
+	D spec.DepVec
+}
+
+// SlotRecord is the structured payload of Reduce and Adopt events: the
+// state of one summary slot immediately after the event. Counts is a
+// snapshot copy of the slot's per-method applied counts (group order); Sum
+// is the summarized call now held in the slot. For Reduce events C points
+// at the reducible call that was just folded in; for Adopt events C is nil
+// (the adopted delta may summarize many calls).
+type SlotRecord struct {
+	Group   int         // summarization group index
+	Src     spec.ProcID // the slot's owning (writing) process
+	Version uint32      // slot version after the event
+	Sum     spec.Call   // summary call now held in the slot
+	Counts  []uint32    // applied counts per group method, snapshot
+	C       *spec.Call  // Reduce only: the call folded into the summary
+}
+
+// QueryRecord is the structured payload of Query events: what was asked
+// and what was answered, so the conformance checker can re-evaluate the
+// query against the replayed state and compare.
+type QueryRecord struct {
+	Method spec.MethodID
+	Args   spec.Args
+	Result any
+	Fresh  bool // evaluated via InvokeFresh (recency-aware path)
+}
+
+// AckRecord is the structured payload of Complete events: whether the
+// response acknowledged the call (OK) or reported an error.
+type AckRecord struct {
+	OK bool
+}
 
 // Tracer is an append-only bounded event recorder. Not safe for concurrent
 // use; the simulation is single-threaded.
@@ -64,6 +112,13 @@ func New(eng *sim.Engine, limit int) *Tracer {
 
 // Record appends an event stamped with the current virtual time.
 func (t *Tracer) Record(node int, kind Kind, call, note string) {
+	t.RecordData(node, kind, call, note, nil)
+}
+
+// RecordData appends an event carrying a structured payload (see
+// CallRecord, SlotRecord, QueryRecord, AckRecord). The payload must be
+// immutable once recorded: callers snapshot any mutable slices.
+func (t *Tracer) RecordData(node int, kind Kind, call, note string, data any) {
 	if t == nil {
 		return
 	}
@@ -71,7 +126,7 @@ func (t *Tracer) Record(node int, kind Kind, call, note string) {
 		t.drops++
 		return
 	}
-	t.events = append(t.events, Event{At: t.eng.Now(), Node: node, Kind: kind, Call: call, Note: note})
+	t.events = append(t.events, Event{At: t.eng.Now(), Node: node, Kind: kind, Call: call, Note: note, Data: data})
 }
 
 // Events returns all recorded events in order.
