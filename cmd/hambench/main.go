@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|chaos|conform]
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|latency|chaos|conform]
 //	         [-ops N] [-seed N] [-metrics-json FILE] [-chrome-trace FILE]
+//	         [-latency-json FILE]
 //	         [-plans N] [-plan-json FILE] [-chaos-dir DIR]
 //	         [-conform-seeds N] [-conform-dump DIR]
 //
@@ -25,6 +26,12 @@
 // the percentile report; -metrics-json additionally dumps the raw registry
 // snapshot as JSON, and -chrome-trace writes a chrome://tracing file of the
 // recorded call lifecycles.
+//
+// The latency experiment runs one fully traced workload, reconstructs a
+// causal span per call and prints per-stage p50/p95/p99 tables plus a
+// tail-attribution report (which protocol stage the p95/p99-slowest calls
+// spent their time in); -latency-json writes the same data as a benchmark
+// snapshot that -exp benchstat can diff.
 //
 // The -ops flag plays the role of the paper's 4 M operations per
 // experiment point; the default (20000) keeps a full-suite run to roughly a
@@ -48,10 +55,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, snapshot, benchstat, chaos, conform")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, snapshot, benchstat, chaos, conform")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
+	latencyJSON := flag.String("latency-json", "", "write the latency experiment's per-stage snapshot as JSON to FILE (compare with -exp benchstat)")
 	chromeTrace := flag.String("chrome-trace", "", "write a chrome://tracing event file for the metrics experiment to FILE")
 	snapshotOut := flag.String("snapshot-out", "BENCH.json", "output file for the snapshot experiment")
 	oldSnap := flag.String("old", "", "benchstat: baseline snapshot file")
@@ -96,6 +104,8 @@ func main() {
 		cfg.Overview()
 	case "metrics":
 		cfg.Metrics(fileWriter(*metricsJSON), fileWriter(*chromeTrace))
+	case "latency":
+		cfg.Latency(fileWriter(*latencyJSON))
 	case "analysis":
 		printAnalyses()
 	case "chaos":

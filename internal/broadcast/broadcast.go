@@ -120,6 +120,7 @@ type Broadcaster struct {
 type pendingMsg struct {
 	seq    uint64
 	record []byte // codec-framed ring record
+	label  string // trace label stamped on the record's final WR (may be "")
 	onDone func()
 	left   int // outstanding remote writes
 }
@@ -164,13 +165,22 @@ func NewBroadcaster(fab *rdma.Fabric, node *rdma.Node, cfg Config) *Broadcaster 
 // non-nil, runs when every remote write has completed (and the backup slot
 // has been cleared). The local node does not deliver its own messages.
 func (b *Broadcaster) Broadcast(payload []byte, onDone func()) error {
+	return b.BroadcastLabeled("", payload, onDone)
+}
+
+// BroadcastLabeled is Broadcast with a trace label: when the fabric has a
+// tracer attached, the final work request carrying this message's record is
+// tagged with label, so the transport's post/wire/completion events can be
+// attributed to the originating call (see rdma.WR.Label). An empty label
+// records nothing.
+func (b *Broadcaster) BroadcastLabeled(label string, payload []byte, onDone func()) error {
 	b.seq++
 	msg := encodeMessage(b.seq, payload)
 	record, err := codec.EncodeRaw(msg)
 	if err != nil {
 		return err
 	}
-	pm := &pendingMsg{seq: b.seq, record: record, onDone: onDone, left: len(b.peers)}
+	pm := &pendingMsg{seq: b.seq, record: record, label: label, onDone: onDone, left: len(b.peers)}
 	slot := int(pm.seq) % b.cfg.BackupSlots
 	if b.slots[slot] != 0 {
 		// Slot occupied by an older in-flight broadcast: queue until free.
@@ -238,8 +248,14 @@ func (b *Broadcaster) pump(pc *peerChan) {
 			break
 		}
 		pc.queue = pc.queue[1:]
-		for _, wr := range writes {
-			wrs = append(wrs, rdma.WR{Region: region, Off: wr.Off, Data: wr.Data})
+		for i, wr := range writes {
+			w := rdma.WR{Region: region, Off: wr.Off, Data: wr.Data}
+			if i == len(writes)-1 {
+				// Label the record's final write: its landing means the
+				// whole record (including any ring-wrap writes) is visible.
+				w.Label = pm.label
+			}
+			wrs = append(wrs, w)
 		}
 		batch = append(batch, pm)
 	}

@@ -5,6 +5,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+
+	"hamband/internal/trace"
 )
 
 // ExploreOptions configures a randomized exploration run.
@@ -71,6 +74,12 @@ func Explore(w io.Writer, o ExploreOptions) (failures int, dumped []string) {
 			dumped = append(dumped, path)
 			fmt.Fprintf(w, "  shrunk to %d events; replay: hambench -exp chaos -plan-json %s\n",
 				len(min.Events), path)
+			if tpath, terr := DumpFlightWindow(path, min, o.Run); terr != nil {
+				fmt.Fprintf(w, "  (could not dump flight window: %v)\n", terr)
+			} else {
+				dumped = append(dumped, tpath)
+				fmt.Fprintf(w, "  flight-recorder window: %s\n", tpath)
+			}
 		}
 	}
 	fmt.Fprintf(w, "chaos exploration: %d/%d plans passed\n", o.Plans-failures, o.Plans)
@@ -89,5 +98,39 @@ func DumpPlan(dir string, p Plan) (string, error) {
 	if err := p.WriteJSON(f); err != nil {
 		return "", err
 	}
+	return path, nil
+}
+
+// DefaultFlightWindow is the flight-recorder ring size used when dumping
+// the trace window of a failing plan: large enough to cover the final few
+// batches of call lifecycles and verb traffic, small enough to stay
+// readable.
+const DefaultFlightWindow = 512
+
+// DumpFlightWindow re-runs a (typically shrunk) failing plan with a
+// flight-recorder tracer attached and writes the retained window — the
+// last events before the verdict — next to the plan's JSON artifact,
+// swapping the .json suffix for .trace. Deterministic replay makes the
+// re-run exact: the window shows the same execution that failed. The
+// given run options are reused so the failure reproduces under identical
+// knobs; only the tracer attachment differs.
+func DumpFlightWindow(planPath string, p Plan, run Options) (string, error) {
+	run.TraceLimit = 0
+	if run.FlightWindow <= 0 {
+		run.FlightWindow = DefaultFlightWindow
+	}
+	v, err := Run(p, run)
+	if err != nil {
+		return "", err
+	}
+	path := strings.TrimSuffix(planPath, ".json") + ".trace"
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "flight-recorder window: last %d events of %s seed %d (%s)\n",
+		len(v.Trace.Events()), p.Class, p.Seed, v.Summary())
+	trace.FormatWindow(f, v.Trace.Events())
 	return path, nil
 }

@@ -35,6 +35,13 @@ type Options struct {
 	// time, so trace hashes are unchanged by it.
 	TraceLimit int
 
+	// FlightWindow, when positive, attaches a flight-recorder tracer
+	// instead: a ring retaining only the newest FlightWindow events, so the
+	// moments leading up to a failure survive arbitrarily long runs at a
+	// fixed memory bound. Takes precedence over TraceLimit. Like TraceLimit
+	// it costs no virtual time, so trace hashes are unchanged.
+	FlightWindow int
+
 	// QueryMix, when positive, issues one random query every QueryMix
 	// workload batches, alternating plain and recency-aware (InvokeFresh)
 	// evaluation. The conformance harness uses it so traces carry query
@@ -89,7 +96,7 @@ type Verdict struct {
 	TraceHash uint64       // FNV-1a over the virtual-time trace; equal seeds ⇒ equal hashes
 
 	Metrics *metrics.Registry // non-nil when Options.EnableMetrics
-	Trace   *trace.Tracer     // non-nil when Options.TraceLimit > 0
+	Trace   *trace.Tracer     // non-nil when Options.TraceLimit or FlightWindow > 0
 	Correct []bool            // per node: eligible for end-state probes (never crashed, not still down)
 }
 
@@ -172,7 +179,11 @@ func Run(p Plan, opts Options) (*Verdict, error) {
 		r.cCalls = reg.Counter("chaos.calls")
 		r.cViolations = reg.Counter("chaos.violations")
 	}
-	if opts.TraceLimit > 0 {
+	if opts.FlightWindow > 0 {
+		tr := trace.NewFlightRecorder(eng, opts.FlightWindow)
+		copts.Tracer = tr
+		r.v.Trace = tr
+	} else if opts.TraceLimit > 0 {
 		tr := trace.New(eng, opts.TraceLimit)
 		copts.Tracer = tr
 		r.v.Trace = tr

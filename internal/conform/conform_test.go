@@ -2,6 +2,7 @@ package conform
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -103,6 +104,51 @@ func TestMutatedApplyOrderCaught(t *testing.T) {
 		t.Errorf("expected a dependency, permissibility or conflict-order violation, got:\n%s", res.Report)
 	}
 	t.Logf("caught with %d ops, %d events:\n%s", min.Ops, len(min.Events), res.Report)
+}
+
+// TestFlightWindowDumpedForFailure pins the debugging artifact chain: a
+// mutated plan that fails conformance dumps a plan JSON plus a
+// flight-recorder window of the last events next to it, the same pair
+// Explore writes for real corpus failures. The window must be bounded by
+// the ring size and carry the event lines a post-mortem needs.
+func TestFlightWindowDumpedForFailure(t *testing.T) {
+	opts := chaos.Options{BatchSize: 8, IssuePeriod: 20 * sim.Microsecond}
+	p := chaos.Plan{Class: "bankmap", Nodes: 3, Ops: 40, Seed: 300, MutateApplyOrder: true}
+	res, err := Run(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conforms() {
+		t.Fatal("mutated plan unexpectedly conforms; flight dump path not exercised")
+	}
+
+	dir := t.TempDir()
+	name, err := DumpPlan(dir, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tname, err := chaos.DumpFlightWindow(name, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strings.TrimSuffix(name, ".json") + ".trace"; tname != want {
+		t.Errorf("trace dumped to %s, want %s (next to the plan)", tname, want)
+	}
+	data, err := os.ReadFile(tname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "flight-recorder window") {
+		t.Errorf("dump missing header:\n%s", out)
+	}
+	lines := strings.Count(strings.TrimRight(out, "\n"), "\n")
+	if lines < 2 {
+		t.Errorf("dump has only %d lines, expected a window of events", lines)
+	}
+	if lines > chaos.DefaultFlightWindow+1 {
+		t.Errorf("dump has %d event lines, ring should cap it at %d", lines, chaos.DefaultFlightWindow)
+	}
 }
 
 // TestMutatedRunsAreDeterministic pins that even non-conforming runs

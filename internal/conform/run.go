@@ -148,6 +148,12 @@ func Explore(w io.Writer, o ExploreOptions) (failures int, dumped []string) {
 		if name, err := DumpPlan(o.DumpDir, min); err == nil {
 			dumped = append(dumped, name)
 			fmt.Fprintf(w, "  shrunk to %d ops / %d events -> %s\n", min.Ops, len(min.Events), name)
+			if tname, terr := chaos.DumpFlightWindow(name, min, o.Options); terr == nil {
+				dumped = append(dumped, tname)
+				fmt.Fprintf(w, "  flight-recorder window: %s\n", tname)
+			} else {
+				fmt.Fprintf(w, "  (could not dump flight window: %v)\n", terr)
+			}
 		} else {
 			fmt.Fprintf(w, "  shrunk to %d ops / %d events (dump failed: %v)\n", min.Ops, len(min.Events), err)
 		}

@@ -134,6 +134,12 @@ func NewCluster(fab *rdma.Fabric, an *spec.Analysis, opts Options) *Cluster {
 		}
 	}
 
+	// Attach the tracer to the fabric so labeled verbs surface their
+	// post/wire/completion timestamps (zero cost without labels).
+	if opts.Tracer != nil {
+		fab.EnableTracing(opts.Tracer)
+	}
+
 	// Propagate the registry to the protocol layers (explicit per-layer
 	// registries, if any, win).
 	if opts.Metrics.Enabled() {
@@ -245,6 +251,9 @@ type Replica struct {
 	freeBatch   []byte
 	freeBatched int
 	flushArmed  bool
+	// Trace labels of the batched entries (only populated when tracing);
+	// joined with commas on the batch's broadcast record.
+	freeLabels []string
 
 	// Speculative leader state: while this replica leads a group it
 	// checks permissibility and projects dependency records against a
@@ -324,6 +333,10 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		g := g
 		in := mu.NewInstance(c.Fab, r.node, muGroup(c.Opts.Namespace, g), c.Opts.Mu, rdma.NodeID(c.leaders[g]))
 		in.Transform = r.leaderTransform
+		if c.Opts.Tracer != nil {
+			in.Tracer = c.Opts.Tracer
+			in.TraceLabel = confLabel
+		}
 		in.Deliver = func(_ uint64, origin rdma.NodeID, payload []byte) {
 			r.onConfDelivery(g, origin, payload)
 		}

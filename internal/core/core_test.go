@@ -793,11 +793,16 @@ func TestTracerRecordsCallLifecycle(t *testing.T) {
 		o.Tracer = trace.New(nil, 0) // engine set below
 	})
 	// Rebuild the tracer with the right engine (the harness creates the
-	// engine before options are applied).
+	// engine before options are applied) and re-wire every layer that holds
+	// a reference to the placeholder.
 	tr := trace.New(h.eng, 4096)
 	for _, r := range h.cluster.Replicas {
 		r.opts.Tracer = tr
+		for _, in := range r.groups {
+			in.Tracer = tr
+		}
 	}
+	h.cluster.Fab.EnableTracing(tr)
 	h.eng.At(0, func() { h.invoke(1, crdt.AccountDeposit, spec.ArgsI(50)) })
 	h.eng.At(sim.Time(2*sim.Millisecond), func() { h.invoke(2, crdt.AccountWithdraw, spec.ArgsI(20)) })
 	h.eng.RunUntil(sim.Time(3 * sim.Millisecond))

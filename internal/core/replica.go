@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"hamband/internal/codec"
 	"hamband/internal/metrics"
@@ -14,6 +15,20 @@ import (
 
 // callID renders a call's request identity for traces.
 func callID(c spec.Call) string { return fmt.Sprintf("p%d#%d", c.Proc, c.Seq) }
+
+// confLabel recovers the call identity from an ordered group entry's
+// payload (flag byte + codec entry) so the consensus layer can attribute
+// its Commit events to the originating call.
+func confLabel(payload []byte) string {
+	if len(payload) < 1 {
+		return ""
+	}
+	c, _, _, err := codec.DecodeEntry(payload[1:])
+	if err != nil {
+		return ""
+	}
+	return callID(c)
+}
 
 // tracing reports whether a tracer is attached; call sites that build
 // notes or payloads guard on it so the disabled path stays allocation-free.
@@ -56,6 +71,10 @@ func (r *Replica) Invoke(u spec.MethodID, args spec.Args, onDone func(result any
 		return
 	}
 	onDone = r.measureCall(u, onDone)
+	// Invoke-entry time: the span layer derives the issue→dispatch stage
+	// (CPU queueing + issue cost) from it. Captured unconditionally — it
+	// rides the closure that exists anyway, costing no extra allocation.
+	submitAt := r.cluster.Fab.Engine().Now()
 	r.node.CPU.Exec(r.opts.IssueCost, func() {
 		r.statIssued++
 		switch r.an.Category[u] {
@@ -71,11 +90,11 @@ func (r *Replica) Invoke(u spec.MethodID, args spec.Args, onDone func(result any
 				}
 			})
 		case spec.CatReducible:
-			r.invokeReduce(u, args, onDone)
+			r.invokeReduce(u, args, submitAt, onDone)
 		case spec.CatIrreducibleFree:
-			r.invokeFree(u, args, onDone)
+			r.invokeFree(u, args, submitAt, onDone)
 		case spec.CatConflicting:
-			r.invokeConf(u, args, onDone)
+			r.invokeConf(u, args, submitAt, onDone)
 		default:
 			if onDone != nil {
 				onDone(nil, ErrNotUpdate)
@@ -174,10 +193,10 @@ func (r *Replica) assertIntegrity(context string) {
 
 // --- reducible calls (rule REDUCE) ---------------------------------------
 
-func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any, error)) {
+func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Time, onDone func(any, error)) {
 	c := r.newCall(u, args)
 	if r.tracing() {
-		r.traceData(trace.Issue, c, r.cls.Methods[u].Name+" (reducible)", trace.CallRecord{C: c})
+		r.traceData(trace.Issue, c, r.cls.Methods[u].Name+" (reducible)", trace.CallRecord{C: c, SubmitAt: submitAt})
 	}
 	if !r.permissible(c) {
 		r.statRejected++
@@ -219,11 +238,15 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, onDone func(any,
 	// the count without the summary (the S-before-A ordering of rule
 	// REDUCE). The writes are queued per peer and flushed as one chained
 	// doorbell; successive versions of a slot stay ordered on the QP.
+	var label string
+	if r.tracing() {
+		label = callID(c) // built only when tracing: keeps the hot path allocation-free
+	}
 	for p := 0; p < r.n; p++ {
 		if spec.ProcID(p) == r.id {
 			continue
 		}
-		r.sumOut[p] = append(r.sumOut[p], rdma.WR{Region: r.opts.Namespace + sumRegionBase, Off: off, Data: used})
+		r.sumOut[p] = append(r.sumOut[p], rdma.WR{Region: r.opts.Namespace + sumRegionBase, Off: off, Data: used, Label: label})
 	}
 	r.armSumFlush()
 	r.statApplied++
@@ -364,10 +387,10 @@ func (r *Replica) scanSummaries() {
 
 // --- irreducible conflict-free calls (rules FREE / FREE-APP) -------------
 
-func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, onDone func(any, error)) {
+func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, submitAt sim.Time, onDone func(any, error)) {
 	c := r.newCall(u, args)
 	if r.tracing() {
-		r.traceData(trace.Issue, c, r.cls.Methods[u].Name+" (irreducible conflict-free)", trace.CallRecord{C: c})
+		r.traceData(trace.Issue, c, r.cls.Methods[u].Name+" (irreducible conflict-free)", trace.CallRecord{C: c, SubmitAt: submitAt})
 	}
 	if !r.permissible(c) {
 		r.statRejected++
@@ -394,7 +417,11 @@ func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, onDone func(any, e
 		}
 		entry, err := codec.EncodeEntry(c, d)
 		if err == nil {
-			err = r.enqueueFree(entry)
+			var label string
+			if r.tracing() {
+				label = callID(c)
+			}
+			err = r.enqueueFree(entry, label)
 		}
 		if err != nil {
 			if r.tracing() {
@@ -428,9 +455,9 @@ func (r *Replica) maxFreeBatchBytes() int {
 // flushes when the batch is full (by count or by the backup-slot byte
 // budget); a delayed flush bounds the added propagation latency. With
 // FreeBatchSize ≤ 1 entries broadcast immediately.
-func (r *Replica) enqueueFree(entry []byte) error {
+func (r *Replica) enqueueFree(entry []byte, label string) error {
 	if r.opts.FreeBatchSize <= 1 {
-		return r.bc.Broadcast(entry, nil)
+		return r.bc.BroadcastLabeled(label, entry, nil)
 	}
 	if len(r.freeBatch) > 0 && len(r.freeBatch)+len(entry) > r.maxFreeBatchBytes() {
 		if err := r.flushFree(); err != nil {
@@ -438,6 +465,9 @@ func (r *Replica) enqueueFree(entry []byte) error {
 		}
 	}
 	r.freeBatch = append(r.freeBatch, entry...)
+	if label != "" {
+		r.freeLabels = append(r.freeLabels, label)
+	}
 	r.freeBatched++
 	if r.freeBatched >= r.opts.FreeBatchSize {
 		return r.flushFree()
@@ -453,16 +483,20 @@ func (r *Replica) enqueueFree(entry []byte) error {
 	return nil
 }
 
-// flushFree broadcasts the pending batch as one record.
+// flushFree broadcasts the pending batch as one record; the record's trace
+// label joins the batched calls' identities with commas (the span layer
+// splits them back out).
 func (r *Replica) flushFree() error {
 	r.flushArmed = false
 	if r.freeBatched == 0 {
 		return nil
 	}
 	batch := r.freeBatch
+	label := strings.Join(r.freeLabels, ",")
 	r.freeBatch = nil
+	r.freeLabels = nil
 	r.freeBatched = 0
-	return r.bc.Broadcast(batch, nil)
+	return r.bc.BroadcastLabeled(label, batch, nil)
 }
 
 // onFreeDelivery receives a broadcast batch of (c, D) pairs into the F
@@ -487,12 +521,12 @@ func (r *Replica) onFreeDelivery(src rdma.NodeID, _ uint64, payload []byte) {
 // sequenced (so the origin gets its response) but applied nowhere.
 const confFlagRejected = 1
 
-func (r *Replica) invokeConf(u spec.MethodID, args spec.Args, onDone func(any, error)) {
+func (r *Replica) invokeConf(u spec.MethodID, args spec.Args, submitAt sim.Time, onDone func(any, error)) {
 	c := r.newCall(u, args)
 	if r.tracing() {
 		r.traceData(trace.Issue, c, fmt.Sprintf("%s (conflicting, group %d, leader p%d)",
 			r.cls.Methods[u].Name, r.an.SyncGroupOf[u], r.groups[r.an.SyncGroupOf[u]].Leader()),
-			trace.CallRecord{C: c})
+			trace.CallRecord{C: c, SubmitAt: submitAt})
 	}
 	g := r.an.SyncGroupOf[u]
 	if onDone != nil {

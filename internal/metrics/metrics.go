@@ -127,6 +127,11 @@ func DefaultLatencyBounds() []sim.Duration {
 	return bounds
 }
 
+// NewHistogram returns a standalone histogram over bounds (nil bounds:
+// DefaultLatencyBounds), unattached to any registry — for consumers that
+// want percentile extraction without naming an instrument.
+func NewHistogram(bounds []sim.Duration) *Histogram { return newHistogram(bounds) }
+
 // newHistogram builds a histogram over sorted bounds.
 func newHistogram(bounds []sim.Duration) *Histogram {
 	if len(bounds) == 0 {

@@ -94,6 +94,55 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Count() != 0 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) = %v on empty histogram, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("mean/min/max = %v/%v/%v on empty histogram", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(37 * sim.Microsecond)
+	// With one sample every quantile is that sample: interpolation must
+	// clamp to the observed min/max, not report a bucket boundary.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 37*sim.Microsecond {
+			t.Errorf("Quantile(%v) = %v, want 37µs", q, got)
+		}
+	}
+	if h.Mean() != 37*sim.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramOverflowInterpolation(t *testing.T) {
+	// One bound at 1µs: observations above it land in the overflow bucket,
+	// which has no upper edge to interpolate against, so any quantile owned
+	// by it must report the observed max rather than extrapolate.
+	h := NewHistogram([]sim.Duration{sim.Microsecond})
+	h.Observe(500 * sim.Nanosecond) // regular bucket
+	h.Observe(2 * sim.Second)       // overflow
+	h.Observe(5 * sim.Second)       // overflow
+	if got := h.Quantile(0.99); got != 5*sim.Second {
+		t.Fatalf("p99 = %v, want the observed max 5s", got)
+	}
+	if got := h.Quantile(0.5); got != 5*sim.Second {
+		t.Fatalf("p50 owned by overflow bucket = %v, want max", got)
+	}
+	if got := h.Quantile(0.1); got > sim.Microsecond {
+		t.Fatalf("p10 = %v, should stay in the sub-1µs bucket", got)
+	}
+}
+
 func TestHistogramMeanAndSum(t *testing.T) {
 	h := newHistogram(nil)
 	h.Observe(2 * sim.Microsecond)

@@ -31,6 +31,7 @@ import (
 	"hamband/internal/rdma"
 	"hamband/internal/ring"
 	"hamband/internal/sim"
+	"hamband/internal/trace"
 )
 
 // Region name builders; all are per consensus group.
@@ -190,6 +191,13 @@ type Instance struct {
 	Transform func(origin rdma.NodeID, payload []byte) []byte
 	// OnLeaderChange is invoked when this node adopts a new leader view.
 	OnLeaderChange func(leader rdma.NodeID, term uint64)
+
+	// Tracer, if set, records a Commit event at the leader the moment an
+	// entry reaches a majority, labeled via TraceLabel applied to the
+	// entry's payload. Both must be set for events to be recorded; neither
+	// affects timing.
+	Tracer     *trace.Tracer
+	TraceLabel func(payload []byte) string
 }
 
 // NewInstance creates this node's participant for group. Setup must have
@@ -532,6 +540,14 @@ func (in *Instance) decide(seq uint64) {
 	if at, ok := in.proposedAt[seq]; ok {
 		in.mCommitLat.Observe(sim.Duration(in.fab.Engine().Now() - at))
 		delete(in.proposedAt, seq)
+	}
+	if in.Tracer != nil && in.TraceLabel != nil {
+		if e, err := decodeLogEntry(in.entries[seq]); err == nil {
+			if label := in.TraceLabel(e.payload); label != "" {
+				in.Tracer.Record(int(in.node.ID()), trace.Commit, label,
+					fmt.Sprintf("%s seq %d replicated to a majority", in.group, seq))
+			}
+		}
 	}
 	advanced := false
 	for in.decided[in.lastDelivered+1] {

@@ -25,6 +25,7 @@ import (
 
 	"hamband/internal/metrics"
 	"hamband/internal/sim"
+	"hamband/internal/trace"
 )
 
 // NodeID identifies a node in the fabric. IDs are dense, starting at 0.
@@ -133,6 +134,7 @@ type Fabric struct {
 	nodes []*Node
 	stats Stats
 	reg   *metrics.Registry
+	tr    *trace.Tracer
 
 	// links holds per-directed-link injected faults (see fault.go). It
 	// stays nil until the first fault is installed, so the fault-free verb
@@ -189,6 +191,19 @@ func (f *Fabric) EnableMetrics(reg *metrics.Registry) {
 
 // Metrics returns the attached registry (nil when metrics are disabled).
 func (f *Fabric) Metrics() *metrics.Registry { return f.reg }
+
+// EnableTracing attaches a lifecycle tracer to the fabric: labeled work
+// requests (WR.Label) record Post at doorbell time, Wire when the write
+// lands in remote memory, and CQE when the sender reaps the completion
+// (signaled verbs only — an unsignaled write never learns it landed, and
+// neither does its trace). Recording happens inside the verbs' existing
+// event closures and costs no virtual time, so timings, stats and
+// schedules are bit-identical with tracing on or off. Unlabeled verbs
+// record nothing.
+func (f *Fabric) EnableTracing(tr *trace.Tracer) { f.tr = tr }
+
+// Tracer returns the attached tracer (nil when verb tracing is disabled).
+func (f *Fabric) Tracer() *trace.Tracer { return f.tr }
 
 // Node is one machine on the fabric: a CPU, registered memory regions, and
 // queue pairs to its peers.
@@ -434,6 +449,46 @@ func (qp *QP) failLocal(cb func(error)) {
 // completion on the posting node's CPU; RC semantics guarantee that a
 // successful completion implies the data is in remote memory.
 func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
+	qp.write(region, off, data, "", onDone)
+}
+
+// traceVerb records one stage-boundary event for a labeled verb; a no-op
+// unless the fabric has a tracer attached and the label is non-empty.
+func (qp *QP) traceVerb(kind trace.Kind, label, verb, note string, bytes int) {
+	f := qp.fabric()
+	if f.tr == nil || label == "" {
+		return
+	}
+	f.tr.RecordData(qp.node(kind), kind, label,
+		fmt.Sprintf("%s %s→p%d %dB", note, verb, qp.to.id, bytes),
+		trace.VerbRecord{Verb: verb, From: int(qp.from.id), To: int(qp.to.id), Bytes: bytes})
+}
+
+// node picks the acting node for a verb event: writes land at the target,
+// posts and completions happen at the sender.
+func (qp *QP) node(kind trace.Kind) int {
+	if kind == trace.Wire {
+		return int(qp.to.id)
+	}
+	return int(qp.from.id)
+}
+
+// traceCQE wraps cb so the labeled verb's completion records a CQE event
+// just before the callback runs (same CPU slice, no timing change).
+// Returns cb unchanged when tracing is off, the label is empty, or the
+// verb is unsignaled.
+func (qp *QP) traceCQE(label, verb string, bytes int, cb func(error)) func(error) {
+	if qp.fabric().tr == nil || label == "" || cb == nil {
+		return cb
+	}
+	return func(err error) {
+		qp.traceVerb(trace.CQE, label, verb, "completion of", bytes)
+		cb(err)
+	}
+}
+
+// write is Write with a trace label (see WR.Label).
+func (qp *QP) write(region string, off int, data []byte, label string, onDone func(error)) {
 	buf := append([]byte(nil), data...)
 	lat := qp.fabric().lat
 	inline := lat.inline(len(buf))
@@ -441,6 +496,7 @@ func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
 	if inline {
 		cost += lat.InlineCost
 	}
+	onDone = qp.traceCQE(label, "write", len(buf), onDone)
 	qp.postCost(cost, func() {
 		f := qp.fabric()
 		f.stats.Writes++
@@ -455,6 +511,7 @@ func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
 			f.stats.Unsignaled++
 			qp.m.unsignaled.Inc()
 		}
+		qp.traceVerb(trace.Post, label, "write", "posted", len(buf))
 		if qp.to.crashed {
 			qp.failLocal(onDone)
 			return
@@ -472,6 +529,7 @@ func (qp *QP) Write(region string, off int, data []byte, onDone func(error)) {
 			err := checkAccess(r, qp.from.id, off, len(buf), true)
 			if err == nil {
 				copy(r.buf[off:], buf)
+				qp.traceVerb(trace.Wire, label, "write", "landed", len(buf))
 			} else {
 				f.stats.Failed++
 			}
@@ -485,6 +543,11 @@ type WR struct {
 	Region string
 	Off    int
 	Data   []byte
+
+	// Label, when non-empty and the fabric has a tracer attached (see
+	// Fabric.EnableTracing), tags this WR's post/wire/completion trace
+	// events with a call identity. An empty label records nothing.
+	Label string
 }
 
 // PostChain posts wrs as a single linked chain of WRITE work requests: one
@@ -508,7 +571,7 @@ func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
 	case 0:
 		return
 	case 1:
-		qp.Write(wrs[0].Region, wrs[0].Off, wrs[0].Data, onDone)
+		qp.write(wrs[0].Region, wrs[0].Off, wrs[0].Data, wrs[0].Label, onDone)
 		return
 	}
 	lat := qp.fabric().lat
@@ -517,6 +580,7 @@ func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
 		off    int
 		buf    []byte
 		inline bool
+		label  string
 	}
 	chain := make([]chained, len(wrs))
 	cost := lat.PostCost + sim.Duration(len(wrs)-1)*lat.ChainedPostCost
@@ -526,7 +590,27 @@ func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
 		if il {
 			cost += lat.InlineCost
 		}
-		chain[i] = chained{region: wr.Region, off: wr.Off, buf: buf, inline: il}
+		chain[i] = chained{region: wr.Region, off: wr.Off, buf: buf, inline: il, label: wr.Label}
+	}
+	if tr := qp.fabric().tr; tr != nil && onDone != nil {
+		// The tail CQE is the moment the sender learns the whole chain
+		// landed: attribute it to every labeled WR in the chain.
+		inner := onDone
+		labeled := false
+		for _, w := range chain {
+			if w.label != "" {
+				labeled = true
+				break
+			}
+		}
+		if labeled {
+			onDone = func(err error) {
+				for _, w := range chain {
+					qp.traceVerb(trace.CQE, w.label, "chain", "completion of", len(w.buf))
+				}
+				inner(err)
+			}
+		}
 	}
 	qp.postCost(cost, func() {
 		f := qp.fabric()
@@ -553,6 +637,9 @@ func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
 		}
 		f.stats.Unsignaled += unsig
 		qp.m.unsignaled.Add(unsig)
+		for _, w := range chain {
+			qp.traceVerb(trace.Post, w.label, "chain", "posted", len(w.buf))
+		}
 		if qp.to.crashed {
 			qp.failLocal(onDone)
 			return
@@ -582,6 +669,7 @@ func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
 					err := checkAccess(r, qp.from.id, w.off, len(w.buf), true)
 					if err == nil {
 						copy(r.buf[w.off:], w.buf)
+						qp.traceVerb(trace.Wire, w.label, "chain", "landed", len(w.buf))
 					} else {
 						f.stats.Failed++
 						chainErr = err

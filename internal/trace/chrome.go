@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
@@ -25,64 +26,101 @@ type chromeTrace struct {
 }
 
 // WriteChromeTrace exports the recorded events in the Chrome trace-event
-// JSON format, loadable in chrome://tracing or Perfetto. Each simulated
-// node appears as a process. Every lifecycle event becomes an instant on
-// its node's track, and each call with both an issue and a complete event
-// additionally gets a duration span on the issuing node, so per-call
-// latency is visible as a bar. A nil tracer writes an empty trace.
+// JSON format, loadable in chrome://tracing or Perfetto. Each call becomes
+// a nested stack of begin/end span pairs on its own track (pid = issuing
+// node, tid = call lane): an outer span covering the call's full recorded
+// lifetime and one inner span per leg between consecutive lifecycle events
+// (issue→reduce, post→wire, wire→apply, …), so stage durations are visible
+// as nested bars. Node-level events (suspicions, queries, adoptions) stay
+// instants on their node's track. When the tracer dropped or evicted
+// events, a final "dropped events" instant annotates the loss. A nil
+// tracer writes an empty trace.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
 	if t != nil {
-		type span struct {
-			issueAt  float64
-			issueOn  int
-			complete float64
-			done     bool
-		}
-		spans := make(map[string]*span)
-		order := []string{}
-		for _, e := range t.events {
+		byCall := make(map[string][]Event)
+		var order []string
+		lastTs := 0.0
+		t.each(func(e Event) {
 			ts := float64(e.At) / 1e3 // virtual ns → µs
-			out.TraceEvents = append(out.TraceEvents, chromeEvent{
-				Name: string(e.Kind),
-				Ph:   "i",
-				Ts:   ts,
-				Pid:  e.Node,
-				Tid:  e.Node,
-				Cat:  "lifecycle",
-				Args: map[string]any{"call": e.Call, "note": e.Note},
-			})
-			if e.Call == "" {
-				continue
+			if ts > lastTs {
+				lastTs = ts
 			}
-			sp := spans[e.Call]
-			if sp == nil && e.Kind == Issue {
-				spans[e.Call] = &span{issueAt: ts, issueOn: e.Node}
+			if e.Call == "" {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: string(e.Kind),
+					Ph:   "i",
+					Ts:   ts,
+					Pid:  e.Node,
+					Tid:  e.Node,
+					Cat:  "lifecycle",
+					Args: map[string]any{"note": e.Note},
+				})
+				return
+			}
+			if _, ok := byCall[e.Call]; !ok {
 				order = append(order, e.Call)
 			}
-			if sp != nil && e.Kind == Complete {
-				sp.complete = ts
-				sp.done = true
-			}
-		}
-		for _, call := range order {
-			sp := spans[call]
-			if !sp.done {
-				continue
+			byCall[e.Call] = append(byCall[e.Call], e)
+		})
+		for lane, call := range order {
+			evs := byCall[call]
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+			first, last := evs[0], evs[len(evs)-1]
+			pid, tid := first.Node, lane
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: call,
+				Ph:   "B",
+				Ts:   float64(first.At) / 1e3,
+				Pid:  pid,
+				Tid:  tid,
+				Cat:  "call",
+				Args: map[string]any{"note": first.Note},
+			})
+			for i := 0; i+1 < len(evs); i++ {
+				a, b := evs[i], evs[i+1]
+				out.TraceEvents = append(out.TraceEvents,
+					chromeEvent{
+						Name: fmt.Sprintf("%s→%s", a.Kind, b.Kind),
+						Ph:   "B",
+						Ts:   float64(a.At) / 1e3,
+						Pid:  pid,
+						Tid:  tid,
+						Cat:  "stage",
+						Args: map[string]any{"from_node": a.Node, "to_node": b.Node, "note": b.Note},
+					},
+					chromeEvent{
+						Name: fmt.Sprintf("%s→%s", a.Kind, b.Kind),
+						Ph:   "E",
+						Ts:   float64(b.At) / 1e3,
+						Pid:  pid,
+						Tid:  tid,
+						Cat:  "stage",
+					})
 			}
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: call,
-				Ph:   "X",
-				Ts:   sp.issueAt,
-				Dur:  sp.complete - sp.issueAt,
-				Pid:  sp.issueOn,
-				Tid:  sp.issueOn,
+				Ph:   "E",
+				Ts:   float64(last.At) / 1e3,
+				Pid:  pid,
+				Tid:  tid,
 				Cat:  "call",
 			})
 		}
 		sort.SliceStable(out.TraceEvents, func(i, j int) bool {
 			return out.TraceEvents[i].Ts < out.TraceEvents[j].Ts
 		})
+		if t.drops > 0 {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "dropped events",
+				Ph:   "i",
+				Ts:   lastTs,
+				Pid:  0,
+				Tid:  0,
+				Cat:  "meta",
+				Args: map[string]any{"dropped": t.drops, "limit": t.limit},
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hamband/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the nested-span Chrome export byte-for-byte:
+// a small fixed trace with a full call lifecycle (including transport
+// stage-boundary events), a node-level instant, and a dropped event, so
+// the dropped-events annotation is part of the golden output.
+// Regenerate with: go test ./internal/trace -run Golden -update
+func TestChromeTraceGolden(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 6) // one event beyond the limit drops → annotation
+	eng.At(1000, func() { tr.Record(0, Issue, "p0#1", "add (irreducible conflict-free)") })
+	eng.At(1200, func() { tr.Record(0, FreeSend, "p0#1", "applied locally, broadcast to F buffers") })
+	eng.At(1400, func() {
+		tr.RecordData(0, Post, "p0#1", "chain→p1 64B", VerbRecord{Verb: "chain", From: 0, To: 1, Bytes: 64})
+	})
+	eng.At(2200, func() {
+		tr.RecordData(1, Wire, "p0#1", "landed", VerbRecord{Verb: "chain", From: 0, To: 1, Bytes: 64})
+	})
+	eng.At(2900, func() { tr.Record(1, Apply, "p0#1", "free-app") })
+	eng.At(3100, func() { tr.Record(2, Suspect, "", "suspects p0") })
+	eng.At(3300, func() { tr.Record(0, Complete, "p0#1", "response resolved") }) // dropped
+	eng.Run()
+
+	if tr.Dropped() != 1 {
+		t.Fatalf("fixture dropped %d events, want 1", tr.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_nested.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("dropped events")) {
+		t.Error("export is missing the dropped-events annotation")
+	}
+}

@@ -50,6 +50,14 @@ const (
 	Suspect  Kind = "suspect"   // failure detector suspicion
 	Recover  Kind = "recover"   // recovery action (broadcast/summary/leader)
 	Query    Kind = "query"     // query evaluated at a replica
+
+	// Stage-boundary events surfaced from the transport layers; the span
+	// layer (package span) stitches them into per-call latency attribution.
+	// The conformance checker ignores them.
+	Post   Kind = "post"   // labeled verb posted to a QP (doorbell fired)
+	Wire   Kind = "wire"   // labeled write landed in remote memory
+	CQE    Kind = "cqe"    // sender reaped the completion of a labeled verb
+	Commit Kind = "commit" // consensus entry replicated to a majority
 )
 
 // CallRecord is the structured payload of Issue, FreeSend, Order and Apply
@@ -59,6 +67,22 @@ const (
 type CallRecord struct {
 	C spec.Call
 	D spec.DepVec
+
+	// SubmitAt, set on Issue events only, is the virtual time the client
+	// handed the call to Invoke — before the issue-cost CPU charge and any
+	// CPU queueing. The span layer derives the issue→dispatch stage from it.
+	SubmitAt sim.Time
+}
+
+// VerbRecord is the structured payload of Post, Wire and CQE events: which
+// verb moved how many bytes between which nodes. The event's Call field
+// carries the label of the work request (see rdma.WR.Label); a batched
+// record serving several calls joins their identities with commas.
+type VerbRecord struct {
+	Verb  string // "write" or "chain"
+	From  int
+	To    int
+	Bytes int
 }
 
 // SlotRecord is the structured payload of Reduce and Adopt events: the
@@ -94,11 +118,20 @@ type AckRecord struct {
 
 // Tracer is an append-only bounded event recorder. Not safe for concurrent
 // use; the simulation is single-threaded.
+//
+// Two bounding policies exist. A tracer from New keeps the oldest events
+// and counts later ones as dropped — the right shape for conformance runs,
+// which need the history from the start. A tracer from NewFlightRecorder
+// keeps the *newest* events in a ring, evicting the oldest at O(1) — the
+// right shape for post-mortems, where the events just before a failure
+// carry all the signal.
 type Tracer struct {
 	eng    *sim.Engine
 	events []Event
 	limit  int
 	drops  int
+	ring   bool // flight-recorder mode: evict oldest instead of dropping newest
+	head   int  // ring mode: index of the oldest event once the ring is full
 }
 
 // New returns a tracer bound to eng holding at most limit events
@@ -108,6 +141,17 @@ func New(eng *sim.Engine, limit int) *Tracer {
 		limit = 1 << 16
 	}
 	return &Tracer{eng: eng, limit: limit}
+}
+
+// NewFlightRecorder returns a tracer that retains the newest window events
+// in a ring: each record beyond the window overwrites the oldest event in
+// O(1). Dropped reports how many events were evicted. Use it for always-on
+// tracing where only the events leading up to a failure matter.
+func NewFlightRecorder(eng *sim.Engine, window int) *Tracer {
+	if window <= 0 {
+		window = 1 << 12
+	}
+	return &Tracer{eng: eng, limit: window, ring: true}
 }
 
 // Record appends an event stamped with the current virtual time.
@@ -122,27 +166,71 @@ func (t *Tracer) RecordData(node int, kind Kind, call, note string, data any) {
 	if t == nil {
 		return
 	}
-	if len(t.events) >= t.limit {
+	e := Event{At: t.eng.Now(), Node: node, Kind: kind, Call: call, Note: note, Data: data}
+	if len(t.events) < t.limit {
+		t.events = append(t.events, e)
+		return
+	}
+	if !t.ring {
 		t.drops++
 		return
 	}
-	t.events = append(t.events, Event{At: t.eng.Now(), Node: node, Kind: kind, Call: call, Note: note, Data: data})
+	t.events[t.head] = e
+	t.head++
+	if t.head == t.limit {
+		t.head = 0
+	}
+	t.drops++
 }
 
-// Events returns all recorded events in order.
-func (t *Tracer) Events() []Event { return t.events }
+// each visits the recorded events oldest-first without copying.
+func (t *Tracer) each(fn func(Event)) {
+	for _, e := range t.events[t.head:] {
+		fn(e)
+	}
+	for _, e := range t.events[:t.head] {
+		fn(e)
+	}
+}
 
-// Dropped reports events lost to the limit.
+// Events returns a copy of the recorded events, oldest first. Mutating the
+// returned slice never affects the tracer.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, len(t.events))
+	n := copy(out, t.events[t.head:])
+	copy(out[n:], t.events[:t.head])
+	return out
+}
+
+// Window returns a copy of the newest n recorded events, oldest first (all
+// events when n <= 0 or fewer than n are held) — the flight-recorder
+// post-mortem view.
+func (t *Tracer) Window(n int) []Event {
+	evs := t.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Dropped reports events lost to the limit (New) or evicted from the ring
+// (NewFlightRecorder).
 func (t *Tracer) Dropped() int { return t.drops }
+
+// Limit returns the tracer's event capacity.
+func (t *Tracer) Limit() int { return t.limit }
 
 // Timeline returns the events of one call, in time order.
 func (t *Tracer) Timeline(call string) []Event {
 	var out []Event
-	for _, e := range t.events {
+	t.each(func(e Event) {
 		if e.Call == call {
 			out = append(out, e)
 		}
-	}
+	})
 	return out
 }
 
@@ -150,23 +238,23 @@ func (t *Tracer) Timeline(call string) []Event {
 func (t *Tracer) Calls() []string {
 	seen := make(map[string]bool)
 	var out []string
-	for _, e := range t.events {
+	t.each(func(e Event) {
 		if e.Call != "" && !seen[e.Call] {
 			seen[e.Call] = true
 			out = append(out, e.Call)
 		}
-	}
+	})
 	return out
 }
 
 // ByKind returns the events of one kind.
 func (t *Tracer) ByKind(kind Kind) []Event {
 	var out []Event
-	for _, e := range t.events {
+	t.each(func(e Event) {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
-	}
+	})
 	return out
 }
 
@@ -190,6 +278,19 @@ func (t *Tracer) Format(w io.Writer, calls ...string) {
 		}
 	}
 	if t.drops > 0 {
-		fmt.Fprintf(w, "(%d events dropped beyond the %d-event limit)\n", t.drops, t.limit)
+		if t.ring {
+			fmt.Fprintf(w, "(%d older events evicted beyond the %d-event window)\n", t.drops, t.limit)
+		} else {
+			fmt.Fprintf(w, "(%d events dropped beyond the %d-event limit)\n", t.drops, t.limit)
+		}
+	}
+}
+
+// FormatWindow writes events one per line with absolute virtual times —
+// the flight-recorder post-mortem format dumped next to failing plans.
+func FormatWindow(w io.Writer, events []Event) {
+	for _, e := range events {
+		fmt.Fprintf(w, "t=%-12v n%d %-10s %-10s %s\n",
+			sim.Duration(e.At), e.Node, e.Kind, e.Call, e.Note)
 	}
 }

@@ -93,31 +93,40 @@ func TestWriteChromeTrace(t *testing.T) {
 			Name string  `json:"name"`
 			Ph   string  `json:"ph"`
 			Ts   float64 `json:"ts"`
-			Dur  float64 `json:"dur"`
 			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
 		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
 	}
-	var instants, spans int
+	var instants, begins, ends int
+	depth := 0
 	for _, e := range out.TraceEvents {
 		switch e.Ph {
 		case "i":
 			instants++
-		case "X":
-			spans++
-			if e.Name != "p0#1" || e.Pid != 0 {
-				t.Fatalf("span = %+v, want call p0#1 on node 0", e)
+		case "B":
+			begins++
+			depth++
+			if e.Pid != 0 {
+				t.Fatalf("call span of p0#1 on pid %d, want issuing node 0", e.Pid)
 			}
-			// issue at 1000 ns = 1 µs, complete at 3000 ns = 3 µs.
-			if e.Ts != 1.0 || e.Dur != 2.0 {
-				t.Fatalf("span ts=%v dur=%v, want ts=1µs dur=2µs", e.Ts, e.Dur)
+			if e.Name == "p0#1" && e.Ts != 1.0 {
+				t.Fatalf("outer span begins at %vµs, want 1µs", e.Ts)
+			}
+		case "E":
+			ends++
+			depth--
+			if depth < 0 {
+				t.Fatal("end event without matching begin: spans are not nested")
 			}
 		}
 	}
-	if instants != 4 || spans != 1 {
-		t.Fatalf("got %d instants and %d spans, want 4 and 1", instants, spans)
+	// One outer span + two stage legs (issue→apply, apply→complete), each a
+	// B/E pair, plus the node-level suspect instant.
+	if instants != 1 || begins != 3 || ends != 3 || depth != 0 {
+		t.Fatalf("got %d instants, %d begins, %d ends (depth %d), want 1/3/3/0", instants, begins, ends, depth)
 	}
 
 	// A nil tracer still writes a valid, empty trace.
@@ -128,5 +137,70 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "traceEvents") {
 		t.Fatalf("nil trace output: %q", buf.String())
+	}
+}
+
+// TestEventsReturnsCopy pins that Events hands back an independent slice:
+// mutating or appending to it must not disturb the tracer's record.
+func TestEventsReturnsCopy(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(eng, 10)
+	tr.Record(0, Issue, "p0#1", "deposit")
+	tr.Record(1, Apply, "p0#1", "free-app")
+
+	evs := tr.Events()
+	evs[0].Call = "tampered"
+	evs = append(evs[:1], Event{Kind: Reject, Call: "injected"})
+	_ = evs
+
+	got := tr.Events()
+	if len(got) != 2 || got[0].Call != "p0#1" || got[1].Kind != Apply {
+		t.Fatalf("tracer state disturbed by caller mutation: %+v", got)
+	}
+}
+
+// TestFlightRecorderKeepsNewest pins the ring policy: the window retains
+// the newest events, evicting the oldest at O(1), and Events returns them
+// oldest-first.
+func TestFlightRecorderKeepsNewest(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := NewFlightRecorder(eng, 3)
+	for i := 0; i < 7; i++ {
+		i := i
+		eng.At(sim.Time(i+1), func() { tr.Record(i, Issue, "c", "") })
+	}
+	eng.Run()
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("window holds %d events, want 3", len(evs))
+	}
+	for i, want := range []int{4, 5, 6} {
+		if evs[i].Node != want {
+			t.Fatalf("window[%d].Node = %d, want %d (newest-last order)", i, evs[i].Node, want)
+		}
+	}
+	if tr.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4 evicted", tr.Dropped())
+	}
+	if w := tr.Window(2); len(w) != 2 || w[0].Node != 5 || w[1].Node != 6 {
+		t.Fatalf("Window(2) = %+v, want nodes 5,6", w)
+	}
+}
+
+// TestFlightRecorderIterators pins that Timeline/Calls/ByKind see ring
+// events in oldest-first order after wraparound.
+func TestFlightRecorderIterators(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := NewFlightRecorder(eng, 2)
+	eng.At(1, func() { tr.Record(0, Issue, "a", "") })
+	eng.At(2, func() { tr.Record(0, Issue, "b", "") })
+	eng.At(3, func() { tr.Record(1, Apply, "b", "") })
+	eng.Run()
+	if calls := tr.Calls(); len(calls) != 1 || calls[0] != "b" {
+		t.Fatalf("Calls = %v, want [b]", calls)
+	}
+	tl := tr.Timeline("b")
+	if len(tl) != 2 || tl[0].Kind != Issue || tl[1].Kind != Apply {
+		t.Fatalf("Timeline(b) = %+v", tl)
 	}
 }
