@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet staticcheck race bench bench-snapshot benchstat fuzz chaos conform cover check
+.PHONY: all build test vet staticcheck race check-race bench bench-snapshot benchstat fuzz chaos conform cover check
 
 all: check
 
@@ -26,6 +26,12 @@ staticcheck:
 
 race:
 	$(GO) test -race ./...
+
+# check-race is the standalone race-detector lane CI runs in parallel with
+# the main gate: build plus the full test suite under -race, uncached so
+# every run actually exercises the detector.
+check-race: build
+	$(GO) test -race -count=1 ./...
 
 # chaos replays the committed fixed-seed plan corpus and the randomized
 # acceptance sweep through the nemesis runner. Failing plans are shrunk
@@ -72,5 +78,6 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReaderPoll -fuzztime=$(FUZZTIME) ./internal/ring
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeEntry -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeSlot -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run=^$$ -fuzz=FuzzSlot -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRaw -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzPlanJSON -fuzztime=$(FUZZTIME) ./internal/chaos

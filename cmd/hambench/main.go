@@ -10,9 +10,14 @@
 //	         [-conform-seeds N] [-conform-dump DIR]
 //
 // The chaos experiment explores -plans randomized, seed-reproducible fault
-// plans (node suspensions, link partitions, latency spikes, leader kills)
-// against live clusters and checks convergence, integrity, and exactly-once
-// delivery after heal; -plan-json replays one failing plan's JSON artifact.
+// plans (node suspensions, link partitions, latency spikes, torn-write
+// windows, leader kills) against live clusters and checks convergence,
+// integrity, and exactly-once delivery after heal; -plan-json replays one
+// failing plan's JSON artifact. Torn windows ("kind": "torn"/"tornheal")
+// land each write's interior bytes after its boundary bytes — the
+// out-of-order delivery NICs permit within one work request — which the
+// CRC-validated slot and record frames must reject and retry rather than
+// false-accept.
 //
 // The conform experiment runs -conform-seeds seeded random workloads (with
 // and without fault plans) with lifecycle tracing on and replays every

@@ -382,7 +382,7 @@ func (cfg Config) All() {
 // consensus round — plus the MSG baseline's message count for contrast.
 func (cfg Config) Costs() {
 	cfg.printf("Coordination cost per call by category (4 nodes, updates only)\n")
-	cfg.printf("%-28s %10s %10s %12s\n", "workload", "writes/op", "reads/op", "bytes/op")
+	cfg.printf("%-28s %10s %10s %12s %11s\n", "workload", "writes/op", "reads/op", "bytes/op", "crc ns/op")
 	type row struct {
 		name string
 		cls  *spec.Class
@@ -408,8 +408,11 @@ func (cfg Config) Costs() {
 		if n == 0 {
 			continue
 		}
-		cfg.printf("%-28s %10.2f %10.2f %12.1f\n", rw.name,
-			float64(st.Writes)/n, float64(st.Reads)/n, float64(st.BytesWritten)/n)
+		// Reader-side CRC32-C validation of the bytes each call ships,
+		// priced by the cost model (hardware-assisted checksum throughput).
+		crc := fab.Latency().CRCCost(int(float64(st.BytesWritten) / n))
+		cfg.printf("%-28s %10.2f %10.2f %12.1f %11d\n", rw.name,
+			float64(st.Writes)/n, float64(st.Reads)/n, float64(st.BytesWritten)/n, int64(crc))
 	}
 	// Contrast: the MSG baseline's per-op message count.
 	eng := sim.NewEngine(cfg.Seed)

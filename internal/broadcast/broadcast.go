@@ -17,6 +17,7 @@ package broadcast
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"hamband/internal/codec"
@@ -356,11 +357,13 @@ type Receiver struct {
 	readers   map[rdma.NodeID]*ring.Reader
 	delivered map[rdma.NodeID]map[uint64]bool
 	low       map[rdma.NodeID]uint64 // contiguous delivery watermark per source
+	tornSeen  uint64                 // ring torn-rejects already counted into mTorn
 	ticker    *sim.Ticker
 
 	mDelivered  *metrics.Counter // messages handed to the handler
 	mRecoveries *metrics.Counter // RecoverFrom sweeps started
 	mRecovered  *metrics.Counter // backup slots holding a decodable pending message
+	mTorn       *metrics.Counter // reads rejected by CRC validation (ring + backup)
 }
 
 // NewReceiver starts delivery on node, invoking handler on the node's CPU
@@ -377,6 +380,7 @@ func NewReceiver(fab *rdma.Fabric, node *rdma.Node, cfg Config, handler Handler)
 		mDelivered:  cfg.Metrics.Counter("broadcast.delivered"),
 		mRecoveries: cfg.Metrics.Counter("broadcast.recovery_sweeps"),
 		mRecovered:  cfg.Metrics.Counter("broadcast.backup_slots_recovered"),
+		mTorn:       cfg.Metrics.Counter("broadcast.torn_rejects"),
 	}
 	for i := 0; i < fab.Size(); i++ {
 		src := rdma.NodeID(i)
@@ -398,6 +402,8 @@ func (r *Receiver) poll() {
 		return
 	}
 	r.node.CPU.Exec(r.cfg.PollCost, func() {
+		validated := 0
+		var torn uint64
 		for p := 0; p < r.fab.Size(); p++ {
 			src := rdma.NodeID(p)
 			rd := r.readers[src]
@@ -409,6 +415,7 @@ func (r *Receiver) poll() {
 				if err != nil || !ok {
 					break
 				}
+				validated += len(rec)
 				msg, _, err := codec.DecodeRaw(rec)
 				if err != nil {
 					break
@@ -419,6 +426,17 @@ func (r *Receiver) poll() {
 				}
 				r.deliver(src, seq, payload)
 			}
+			torn += rd.TornRejects()
+		}
+		if torn > r.tornSeen {
+			r.mTorn.Add(torn - r.tornSeen)
+			r.tornSeen = torn
+		}
+		if cost := r.fab.Latency().CRCCost(validated); cost > 0 {
+			// The checksum compute leg of this sweep's validated reads:
+			// occupy the reader CPU for the bytes re-hashed, so the cost
+			// model charges single-RTT validation what it actually costs.
+			r.node.CPU.Exec(cost, func() {})
 		}
 	})
 }
@@ -450,16 +468,32 @@ func (r *Receiver) RecoverFrom(src rdma.NodeID) {
 	if src == r.node.ID() {
 		return
 	}
-	size := r.cfg.BackupSlots * r.cfg.BackupSlot
 	r.mRecoveries.Inc()
+	r.recoverSweep(src, backupReadRetries)
+}
+
+// backupReadRetries bounds the re-reads a recovery sweep earns when a
+// backup slot fails CRC validation — a torn read heals within one fabric
+// delay, so a handful of extra RTTs is enough; a slot still torn after
+// that belongs to a source that died mid-write and carries nothing
+// recoverable.
+const backupReadRetries = 3
+
+func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int) {
+	size := r.cfg.BackupSlots * r.cfg.BackupSlot
 	r.node.QP(src).Read(r.cfg.backupRegion(), 0, size, func(data []byte, err error) {
 		if err != nil {
 			return
 		}
+		tornSeen := false
 		for slot := 0; slot < r.cfg.BackupSlots; slot++ {
 			framed := data[slot*r.cfg.BackupSlot : (slot+1)*r.cfg.BackupSlot]
 			msg, _, derr := codec.DecodeSlot(framed)
 			if derr != nil {
+				if errors.Is(derr, codec.ErrTorn) {
+					r.mTorn.Inc()
+					tornSeen = true
+				}
 				continue
 			}
 			seq, record, derr := decodeMessage(msg)
@@ -477,6 +511,11 @@ func (r *Receiver) RecoverFrom(src rdma.NodeID) {
 			}
 			r.mRecovered.Inc()
 			r.deliver(src, seq, payload)
+		}
+		if tornSeen && retriesLeft > 0 {
+			// Bounded retry-on-invalid: re-read the backups so a torn slot
+			// whose interior lands momentarily is still recovered.
+			r.recoverSweep(src, retriesLeft-1)
 		}
 	})
 }

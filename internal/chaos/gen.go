@@ -17,8 +17,8 @@ type window struct {
 func overlaps(a, b window) bool { return a.from < b.to && b.from < a.to }
 
 // Generate builds a randomized fault plan for class: a seed-deterministic
-// mix of suspend/resume windows, partitions, latency spikes and leader
-// kills over the workload's lifetime. Generated plans keep a majority of
+// mix of suspend/resume windows, partitions, latency spikes, torn-write
+// windows and leader kills over the workload's lifetime. Generated plans keep a majority of
 // nodes up at every instant (stalls still heal, but bounded-minority
 // schedules exercise recovery rather than just the final heal) and never
 // emit crashes — a dead NIC is outside the paper's failure model, whose
@@ -54,7 +54,7 @@ func Generate(class string, nodes, ops int, seed int64) Plan {
 	}
 
 	for i, n := 0, 3+rng.Intn(6); i < n; i++ {
-		switch k := rng.Intn(10); {
+		switch k := rng.Intn(12); {
 		case k < 3: // suspend → resume window
 			w := window{node: rng.Intn(nodes)}
 			w.from = at()
@@ -88,6 +88,18 @@ func Generate(class string, nodes, ops int, seed int64) Plan {
 			p.Events = append(p.Events,
 				Event{At: from, Kind: KindDelay, A: a, B: b, Extra: extra, Jitter: jitter},
 				Event{At: from + sim.Time(span()), Kind: KindDelay, A: a, B: b})
+		case k < 10: // torn-write window: interior bytes land late on one link
+			a := rng.Intn(nodes)
+			b := rng.Intn(nodes - 1)
+			if b >= a {
+				b++
+			}
+			from := at()
+			tear := sim.Duration(200+rng.Int63n(600)) * sim.Nanosecond
+			jitter := sim.Duration(rng.Int63n(301)) * sim.Nanosecond
+			p.Events = append(p.Events,
+				Event{At: from, Kind: KindTorn, A: a, B: b, Extra: tear, Jitter: jitter},
+				Event{At: from + sim.Time(span()), Kind: KindTornHeal, A: a, B: b})
 		default: // leader kill; the victim stays down until the final heal
 			w := window{from: at(), to: horizon + 1, node: -1}
 			if !admissible(w) {

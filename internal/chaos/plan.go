@@ -44,18 +44,26 @@ const (
 	KindPartition  Kind = "partition"  // cut both directions between nodes A and B
 	KindHeal       Kind = "heal"       // reconnect A and B, retransmitting parked verbs
 	KindDelay      Kind = "delay"      // latency spike Extra±Jitter on A↔B (zero clears)
+	KindTorn       Kind = "torn"       // torn writes on A↔B: interior bytes land Extra±Jitter late (0 → default)
+	KindTornHeal   Kind = "tornheal"   // clear the torn-write fault on A↔B
 	KindLeaderKill Kind = "leaderkill" // suspend the current leader of sync group Group
 )
+
+// DefaultTear is the interior-landing delay a KindTorn event with a zero
+// Extra installs: long enough that a reader polling between the two
+// fragment landings sees every boundary word of the new write over a stale
+// interior, short enough that the write heals well inside one poll period.
+const DefaultTear = 300 * sim.Nanosecond
 
 // Event is one timed fault. Which fields are meaningful depends on Kind.
 type Event struct {
 	At     sim.Time     `json:"at"`               // virtual time, ns
 	Kind   Kind         `json:"kind"`             //
 	Node   int          `json:"node,omitempty"`   // suspend/resume/crash target
-	A      int          `json:"a,omitempty"`      // partition/heal/delay endpoint
-	B      int          `json:"b,omitempty"`      // partition/heal/delay endpoint
-	Extra  sim.Duration `json:"extra,omitempty"`  // delay: fixed extra latency, ns
-	Jitter sim.Duration `json:"jitter,omitempty"` // delay: uniform extra in [0,Jitter], ns
+	A      int          `json:"a,omitempty"`      // partition/heal/delay/torn endpoint
+	B      int          `json:"b,omitempty"`      // partition/heal/delay/torn endpoint
+	Extra  sim.Duration `json:"extra,omitempty"`  // delay/torn: fixed extra latency or tear, ns
+	Jitter sim.Duration `json:"jitter,omitempty"` // delay/torn: uniform extra in [0,Jitter], ns
 	Group  int          `json:"group,omitempty"`  // leaderkill: synchronization group
 }
 
@@ -68,6 +76,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v %s p%d-p%d", sim.Duration(e.At), e.Kind, e.A, e.B)
 	case KindDelay:
 		return fmt.Sprintf("%v delay p%d-p%d +%v±%v", sim.Duration(e.At), e.A, e.B, e.Extra, e.Jitter)
+	case KindTorn:
+		return fmt.Sprintf("%v torn p%d-p%d +%v±%v", sim.Duration(e.At), e.A, e.B, e.Extra, e.Jitter)
+	case KindTornHeal:
+		return fmt.Sprintf("%v tornheal p%d-p%d", sim.Duration(e.At), e.A, e.B)
 	case KindLeaderKill:
 		return fmt.Sprintf("%v leaderkill g%d", sim.Duration(e.At), e.Group)
 	}
@@ -123,7 +135,7 @@ func (p Plan) Validate() error {
 			if !node(e.Node) {
 				return fmt.Errorf("chaos: event %d: node %d out of range", i, e.Node)
 			}
-		case KindPartition, KindHeal, KindDelay:
+		case KindPartition, KindHeal, KindDelay, KindTorn, KindTornHeal:
 			if !node(e.A) || !node(e.B) || e.A == e.B {
 				return fmt.Errorf("chaos: event %d: bad link p%d-p%d", i, e.A, e.B)
 			}

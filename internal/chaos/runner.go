@@ -270,6 +270,14 @@ func (r *runner) apply(e Event) {
 		r.fab.Heal(rdma.NodeID(e.A), rdma.NodeID(e.B))
 	case KindDelay:
 		r.fab.SetDelay(rdma.NodeID(e.A), rdma.NodeID(e.B), e.Extra, e.Jitter)
+	case KindTorn:
+		tear := e.Extra
+		if tear <= 0 {
+			tear = DefaultTear
+		}
+		r.fab.SetTorn(rdma.NodeID(e.A), rdma.NodeID(e.B), tear, e.Jitter)
+	case KindTornHeal:
+		r.fab.SetTorn(rdma.NodeID(e.A), rdma.NodeID(e.B), 0, 0)
 	case KindLeaderKill:
 		r.leaderKill(e.Group)
 	}
@@ -601,6 +609,10 @@ func kindIndex(k Kind) int {
 		return 6
 	case KindLeaderKill:
 		return 7
+	case KindTorn:
+		return 8
+	case KindTornHeal:
+		return 9
 	}
 	return 0
 }

@@ -1,25 +1,36 @@
 // Package codec serializes method calls and their dependency records into
 // the byte format Hamband writes into remote memory (§4): a length-prefixed
 // record carrying the call, its variable-sized dependency arrays, and a
-// trailing non-zero canary byte that lets a reader detect a fully written
-// record.
+// CRC32-C + non-zero canary trailer that lets a reader validate a fully
+// written record in a single read.
 //
 // Summary slots use a seqlock-style frame (a version word before and after
-// the payload) so a reader can detect a torn concurrent overwrite and retry
-// — the paper's single-location summaries are overwritten in place rather
-// than appended.
+// the payload) plus a CRC32-C over version, length and payload. The version
+// words are a cheap fast-path rejection of a torn concurrent overwrite; the
+// CRC is authoritative, because a NIC may land a write's boundary bytes
+// before its interior bytes, which fools any scheme that only samples frame
+// edges. Every frame is therefore a checksummed RDMA object: a reader
+// validates any remote or local read in one RTT by re-hashing.
 package codec
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"hamband/internal/spec"
 )
 
 // Canary is the non-zero byte terminating every complete record.
 const Canary byte = 0xA5
+
+// castagnoli is the CRC32-C polynomial table — the checksum RDMA NICs
+// accelerate in hardware, and the one hydra-style validated objects use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32-C of b, the hash every validated frame stores.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
 // Errors returned by decoders.
 var (
@@ -33,11 +44,25 @@ var (
 // rings against it.
 const MaxRecord = 64 * 1024
 
+// RecordTrailer is the validation suffix of every framed record: a u32
+// CRC32-C over all preceding bytes, then the canary byte.
+const RecordTrailer = 5
+
+// RawOverhead is the framing cost of EncodeRaw beyond its payload: the u32
+// length word plus the record trailer.
+const RawOverhead = 4 + RecordTrailer
+
+// minEntry is the smallest possible entry record: header, empty arg and
+// dep arrays, trailer.
+const minEntry = 4 + 2 + 2 + 8 + 2 + 2 + 4 + RecordTrailer
+
 // EncodeEntry serializes (call, deps) into a self-delimiting record:
 //
 //	u32 total length | u16 method | u16 proc | u64 seq |
 //	u16 #ints | u16 #strs | ints | (u16 len + bytes)* |
-//	u32 #deps | deps | canary
+//	u32 #deps | deps | u32 crc | canary
+//
+// The CRC32-C covers every byte before it (length word included).
 func EncodeEntry(c spec.Call, d spec.DepVec) ([]byte, error) {
 	n := entrySize(c, d)
 	if n > MaxRecord {
@@ -61,6 +86,7 @@ func EncodeEntry(c spec.Call, d spec.DepVec) ([]byte, error) {
 	for _, v := range d {
 		b = binary.LittleEndian.AppendUint32(b, v)
 	}
+	b = binary.LittleEndian.AppendUint32(b, Checksum(b))
 	b = append(b, Canary)
 	if len(b) != n {
 		panic("codec: size accounting mismatch")
@@ -75,7 +101,7 @@ func entrySize(c spec.Call, d spec.DepVec) int {
 		n += 2 + len(s)
 	}
 	n += 4 + 4*len(d)
-	n++ // canary
+	n += RecordTrailer
 	return n
 }
 
@@ -92,7 +118,7 @@ func DecodeEntry(b []byte) (spec.Call, spec.DepVec, int, error) {
 	if total == 0 {
 		return zero, nil, 0, ErrIncomplete
 	}
-	if total < 21 || total > MaxRecord {
+	if total < minEntry || total > MaxRecord {
 		return zero, nil, 0, fmt.Errorf("%w: bad length %d", ErrCorrupt, total)
 	}
 	if len(b) < total {
@@ -100,6 +126,9 @@ func DecodeEntry(b []byte) (spec.Call, spec.DepVec, int, error) {
 	}
 	if b[total-1] != Canary {
 		return zero, nil, 0, ErrIncomplete // write in flight
+	}
+	if binary.LittleEndian.Uint32(b[total-RecordTrailer:]) != Checksum(b[:total-RecordTrailer]) {
+		return zero, nil, 0, ErrTorn
 	}
 	p := 4
 	c := spec.Call{
@@ -141,7 +170,7 @@ func DecodeEntry(b []byte) (spec.Call, spec.DepVec, int, error) {
 	}
 	nd := int(binary.LittleEndian.Uint32(b[p:]))
 	p += 4
-	if p+4*nd+1 != total {
+	if p+4*nd+RecordTrailer != total {
 		return zero, nil, 0, ErrCorrupt
 	}
 	var d spec.DepVec
@@ -155,12 +184,15 @@ func DecodeEntry(b []byte) (spec.Call, spec.DepVec, int, error) {
 	return c, d, total, nil
 }
 
-// SlotOverhead is the framing cost of a seqlock slot beyond its payload.
-const SlotOverhead = 12 // u32 version + u32 length + payload + u32 version
+// SlotOverhead is the framing cost of a validated slot beyond its payload.
+const SlotOverhead = 16 // u32 version + u32 length + payload + u32 crc + u32 version
 
 // EncodeSlot frames payload for an overwrite-in-place slot of the given
-// size: version, length, payload, version. The version must increase with
-// every overwrite of the same slot.
+// size: version, length, payload, a CRC32-C over those three, and the
+// version again. The version must increase with every overwrite of the same
+// slot. The trailing version sits last so the seqlock fast path samples the
+// frame's outermost words; the CRC sits inside the frame, where a torn
+// boundary-first landing cannot have refreshed it.
 func EncodeSlot(payload []byte, version uint32, slotSize int) ([]byte, error) {
 	if len(payload)+SlotOverhead > slotSize {
 		return nil, fmt.Errorf("%w: payload %d for slot %d", ErrTooLarge, len(payload), slotSize)
@@ -169,15 +201,35 @@ func EncodeSlot(payload []byte, version uint32, slotSize int) ([]byte, error) {
 	binary.LittleEndian.PutUint32(b, version)
 	binary.LittleEndian.PutUint32(b[4:], uint32(len(payload)))
 	copy(b[8:], payload)
-	binary.LittleEndian.PutUint32(b[8+len(payload):], version)
+	binary.LittleEndian.PutUint32(b[8+len(payload):], Checksum(b[:8+len(payload)]))
+	binary.LittleEndian.PutUint32(b[12+len(payload):], version)
 	return b, nil
 }
 
-// DecodeSlot extracts a slot's payload and version. ErrTorn signals a
-// mismatch between the leading and trailing versions (a concurrent
-// overwrite); the reader should retry. A zero version means the slot was
-// never written.
+// DecodeSlot extracts a slot's payload and version, validating the full
+// frame: the seqlock version pair as a cheap fast-path rejection, then the
+// CRC32-C as the authoritative check. ErrTorn signals an overwrite whose
+// bytes have not all landed — matching versions included, since a NIC may
+// land both boundary words before the interior; the reader should retry. A
+// zero version means the slot was never written.
 func DecodeSlot(b []byte) (payload []byte, version uint32, err error) {
+	payload, version, err = DecodeSlotSeqlock(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := len(payload)
+	if binary.LittleEndian.Uint32(b[8+n:]) != Checksum(b[:8+n]) {
+		return nil, 0, ErrTorn
+	}
+	return payload, version, nil
+}
+
+// DecodeSlotSeqlock is the pre-CRC validation scheme: it checks only that
+// the leading and trailing version words match. It false-accepts any torn
+// landing whose boundary words arrive before the interior payload bytes and
+// is retained solely as the ablation baseline for regression tests proving
+// that hazard; production readers must use DecodeSlot.
+func DecodeSlotSeqlock(b []byte) (payload []byte, version uint32, err error) {
 	if len(b) < SlotOverhead {
 		return nil, 0, ErrCorrupt
 	}
@@ -186,10 +238,10 @@ func DecodeSlot(b []byte) (payload []byte, version uint32, err error) {
 		return nil, 0, ErrIncomplete
 	}
 	n := int(binary.LittleEndian.Uint32(b[4:]))
-	if n < 0 || 8+n+4 > len(b) {
+	if n < 0 || 8+n+8 > len(b) {
 		return nil, 0, ErrCorrupt
 	}
-	v2 := binary.LittleEndian.Uint32(b[8+n:])
+	v2 := binary.LittleEndian.Uint32(b[12+n:])
 	if v1 != v2 {
 		return nil, 0, ErrTorn
 	}
@@ -197,23 +249,25 @@ func DecodeSlot(b []byte) (payload []byte, version uint32, err error) {
 }
 
 // EncodeRaw frames an opaque payload as a self-delimiting ring record:
-// u32 total length, payload, canary. Protocol layers (reliable broadcast,
-// consensus) use it to carry their own message formats through ring
-// buffers.
+// u32 total length, payload, u32 crc, canary. Protocol layers (reliable
+// broadcast, consensus) use it to carry their own message formats through
+// ring buffers.
 func EncodeRaw(payload []byte) ([]byte, error) {
-	n := 4 + len(payload) + 1
+	n := len(payload) + RawOverhead
 	if n > MaxRecord {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
 	b := make([]byte, 0, n)
 	b = binary.LittleEndian.AppendUint32(b, uint32(n))
 	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, Checksum(b))
 	b = append(b, Canary)
 	return b, nil
 }
 
 // DecodeRaw unwraps a record framed by EncodeRaw, returning the payload and
-// the total record length consumed.
+// the total record length consumed. ErrTorn reports a canary that landed
+// ahead of interior bytes (CRC mismatch).
 func DecodeRaw(b []byte) ([]byte, int, error) {
 	if len(b) < 4 {
 		return nil, 0, ErrIncomplete
@@ -222,7 +276,7 @@ func DecodeRaw(b []byte) ([]byte, int, error) {
 	if total == 0 {
 		return nil, 0, ErrIncomplete
 	}
-	if total < 5 || total > MaxRecord {
+	if total < RawOverhead || total > MaxRecord {
 		return nil, 0, fmt.Errorf("%w: bad length %d", ErrCorrupt, total)
 	}
 	if len(b) < total {
@@ -231,5 +285,26 @@ func DecodeRaw(b []byte) ([]byte, int, error) {
 	if b[total-1] != Canary {
 		return nil, 0, ErrIncomplete
 	}
-	return b[4 : total-1], total, nil
+	if binary.LittleEndian.Uint32(b[total-RecordTrailer:]) != Checksum(b[:total-RecordTrailer]) {
+		return nil, 0, ErrTorn
+	}
+	return b[4 : total-RecordTrailer], total, nil
+}
+
+// ValidateRecord checks the trailer of one complete framed record (entry or
+// raw — both share the crc+canary suffix) without decoding it: the ring
+// reader's single-pass validation. It returns ErrIncomplete while the
+// canary has not landed, ErrTorn when the canary landed ahead of interior
+// bytes (CRC mismatch), and nil for an intact record.
+func ValidateRecord(b []byte) error {
+	if len(b) < RawOverhead {
+		return ErrCorrupt
+	}
+	if b[len(b)-1] != Canary {
+		return ErrIncomplete
+	}
+	if binary.LittleEndian.Uint32(b[len(b)-RecordTrailer:]) != Checksum(b[:len(b)-RecordTrailer]) {
+		return ErrTorn
+	}
+	return nil
 }

@@ -274,6 +274,7 @@ type Replica struct {
 	mConfDepth *metrics.Gauge     // total L-buffer depth
 	mApplied   *metrics.Counter   // calls applied to σ or a summary slot
 	mRejected  *metrics.Counter   // calls rejected as impermissible
+	mTorn      *metrics.Counter   // slot reads rejected by CRC validation
 
 	tickers []*sim.Ticker
 
@@ -282,6 +283,7 @@ type Replica struct {
 	statIssued    uint64
 	statRejected  uint64
 	statRecovered uint64
+	statTorn      uint64
 }
 
 func newReplica(c *Cluster, id spec.ProcID) *Replica {
@@ -313,6 +315,7 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		r.mConfDepth = reg.Gauge("core.queue.conf_depth")
 		r.mApplied = reg.Counter("core.applied")
 		r.mRejected = reg.Counter("core.rejected")
+		r.mTorn = reg.Counter("core.torn_rejects")
 	}
 	for range cls.SumGroups {
 		row := make([]*sumSlot, n)
@@ -387,6 +390,10 @@ func (r *Replica) Applied() spec.AppliedMap { return r.applied }
 func (r *Replica) Stats() (issued, applied, rejected, recovered uint64) {
 	return r.statIssued, r.statApplied, r.statRejected, r.statRecovered
 }
+
+// TornRejects reports how many slot reads the CRC validation rejected —
+// each one a torn landing the seqlock-only scheme would have accepted.
+func (r *Replica) TornRejects() uint64 { return r.statTorn }
 
 // stop cancels the replica's background activity.
 func (r *Replica) stop() {

@@ -224,10 +224,10 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Tim
 		panic(fmt.Sprintf("core: summary slot overflow at p%d: %v", r.id, err))
 	}
 	off := r.slotOffset(g, r.id)
-	// The seqlock frame is self-delimiting (leading version, length,
-	// payload, trailing version), so only the used prefix needs to travel;
-	// stale bytes beyond it are never read. For a counter this shrinks the
-	// wire cost from the full slot (16 KB) to ~60 bytes.
+	// The validated frame is self-delimiting (leading version, length,
+	// payload, CRC, trailing version), so only the used prefix needs to
+	// travel; stale bytes beyond it are never read. For a counter this
+	// shrinks the wire cost from the full slot (16 KB) to ~60 bytes.
 	used := framed[:codec.SlotOverhead+len(payload)]
 	// Install locally (the issuer's own slot is the authoritative backup
 	// that peers repair from on failure) ...
@@ -352,7 +352,17 @@ func (r *Replica) scanSummaries() {
 			}
 			off := r.slotOffset(g, spec.ProcID(p))
 			payload, ver, err := codec.DecodeSlot(region[off : off+r.opts.SumSlotSize])
-			if err != nil || ver == slot.version || ver < slot.version {
+			if err != nil {
+				if errors.Is(err, codec.ErrTorn) {
+					// A peer's overwrite is still landing (or its boundary
+					// words raced ahead of the interior): reject now, let
+					// the next periodic scan observe the healed slot.
+					r.statTorn++
+					r.mTorn.Inc()
+				}
+				continue
+			}
+			if ver <= slot.version {
 				continue
 			}
 			counts, call, derr := decodeSumSlot(payload)
@@ -445,10 +455,10 @@ func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, submitAt sim.Time,
 // maxFreeBatchBytes bounds a batch so its broadcast record still fits the
 // reliable broadcast's backup slot. The backup stores the sequence number
 // plus the codec-framed ring record, which itself wraps the sequence number
-// and the batch: seqlock frame (12) + seq (8) + raw framing (5) + seq (8),
-// with a small safety margin.
+// and the batch: validated slot frame, seq (8), raw framing, seq (8), with
+// a small safety margin.
 func (r *Replica) maxFreeBatchBytes() int {
-	return r.opts.Broadcast.BackupSlot - codec.SlotOverhead - 8 - 5 - 8 - 16
+	return r.opts.Broadcast.BackupSlot - codec.SlotOverhead - 8 - codec.RawOverhead - 8 - 16
 }
 
 // enqueueFree appends an encoded (c, D) entry to the outgoing batch and
@@ -859,6 +869,45 @@ func (r *Replica) isSuccessor(peer rdma.NodeID) bool {
 	return false
 }
 
+// slotReadRetries bounds the re-reads a torn remote slot read earns. Each
+// retry costs one more RTT, and a torn landing heals within one fabric
+// delay, so a slot still torn after three re-reads belongs to a writer
+// that died mid-write — its previous version remains in force.
+const slotReadRetries = 3
+
+// readSlotValidated issues a one-sided read of (g, p)'s summary slot at
+// peer and delivers only a CRC-validated frame to done. A torn read is
+// counted in torn_rejects and re-read, bounded by slotReadRetries; read
+// errors and exhausted retries drop the read silently — the periodic
+// summary scan observes the healed slot later.
+func (r *Replica) readSlotValidated(peer rdma.NodeID, g int, p spec.ProcID, done func(data []byte)) {
+	off := r.slotOffset(g, p)
+	var attempt func(left int)
+	attempt = func(left int) {
+		r.node.QP(peer).Read(r.opts.Namespace+sumRegionBase, off, r.opts.SumSlotSize,
+			func(data []byte, err error) {
+				if err != nil {
+					done(nil)
+					return
+				}
+				if _, _, derr := codec.DecodeSlot(data); derr != nil {
+					if errors.Is(derr, codec.ErrTorn) {
+						r.statTorn++
+						r.mTorn.Inc()
+						if left > 0 {
+							attempt(left - 1)
+							return
+						}
+					}
+					done(nil)
+					return
+				}
+				done(data)
+			})
+	}
+	attempt(slotReadRetries)
+}
+
 // repairSummaries reads the suspect's own summary row remotely (its NIC
 // still serves one-sided reads under the suspension failure model) and
 // adopts any slot newer than the local copy — the summary analogue of the
@@ -869,9 +918,8 @@ func (r *Replica) repairSummaries(peer rdma.NodeID) {
 	}
 	for g := range r.sums {
 		g := g
-		off := r.slotOffset(g, spec.ProcID(peer))
-		r.node.QP(peer).Read(r.opts.Namespace+sumRegionBase, off, r.opts.SumSlotSize, func(data []byte, err error) {
-			if err != nil {
+		r.readSlotValidated(peer, g, spec.ProcID(peer), func(data []byte) {
+			if data == nil {
 				return
 			}
 			if r.adoptSlot(g, spec.ProcID(peer), data) {
@@ -953,14 +1001,12 @@ func (r *Replica) InvokeFresh(q spec.MethodID, args spec.Args, onDone func(resul
 				}
 				g, p := g, p
 				remaining++
-				off := r.slotOffset(g, spec.ProcID(p))
-				r.node.QP(rdma.NodeID(p)).Read(r.opts.Namespace+sumRegionBase, off, r.opts.SumSlotSize,
-					func(data []byte, err error) {
-						if err == nil {
-							r.adoptSlot(g, spec.ProcID(p), data)
-						}
-						finish()
-					})
+				r.readSlotValidated(rdma.NodeID(p), g, spec.ProcID(p), func(data []byte) {
+					if data != nil {
+						r.adoptSlot(g, spec.ProcID(p), data)
+					}
+					finish()
+				})
 			}
 		}
 		if remaining == 0 { // single-node cluster

@@ -30,13 +30,16 @@ type linkState struct {
 	partitioned bool
 	extra       sim.Duration // fixed extra one-way latency
 	jitter      sim.Duration // per-verb uniform extra in [0, jitter]
+	tear        sim.Duration // torn writes: interior bytes land this much later
+	tearJitter  sim.Duration // per-write uniform extra tear in [0, tearJitter]
 	parked      []func()     // wire-side verb stages awaiting heal, posting order
 }
 
 // clear reports whether the link carries no fault state and can be dropped
 // from the fabric's map (keeping the no-fault hot path at one nil lookup).
 func (ls *linkState) clear() bool {
-	return !ls.partitioned && ls.extra == 0 && ls.jitter == 0 && len(ls.parked) == 0
+	return !ls.partitioned && ls.extra == 0 && ls.jitter == 0 &&
+		ls.tear == 0 && ls.tearJitter == 0 && len(ls.parked) == 0
 }
 
 // link returns the directed link's fault state, or nil when none installed.
@@ -117,6 +120,33 @@ func (f *Fabric) SetDelay(a, b NodeID, extra, jitter sim.Duration) {
 	f.SetLinkDelay(b, a, extra, jitter)
 }
 
+// SetLinkTorn installs a torn-write fault on the directed link from → to:
+// every write larger than the eight boundary bytes lands in two fragments —
+// its first and last four bytes at the normal delivery time, its interior
+// bytes tear later (plus a uniform random amount in [0, jitter] drawn from
+// the engine's seeded RNG, keeping runs deterministic). This is the
+// out-of-order byte landing real NICs permit within a single work request:
+// the exact hazard that fools validation schemes sampling only a record's
+// boundary words (length + canary, seqlock version pairs). Zero tear and
+// jitter clears the fault.
+func (f *Fabric) SetLinkTorn(from, to NodeID, tear, jitter sim.Duration) {
+	if tear <= 0 && jitter <= 0 {
+		if ls := f.link(from, to); ls != nil {
+			ls.tear, ls.tearJitter = 0, 0
+			f.drop(from, to, ls)
+		}
+		return
+	}
+	ls := f.ensureLink(from, to)
+	ls.tear, ls.tearJitter = tear, jitter
+}
+
+// SetTorn installs (or clears) a torn-write fault on both directions.
+func (f *Fabric) SetTorn(a, b NodeID, tear, jitter sim.Duration) {
+	f.SetLinkTorn(a, b, tear, jitter)
+	f.SetLinkTorn(b, a, tear, jitter)
+}
+
 // Partitioned reports whether the directed link from → to is cut.
 func (f *Fabric) Partitioned(from, to NodeID) bool {
 	ls := f.link(from, to)
@@ -139,6 +169,7 @@ func (f *Fabric) HealAll() {
 			}
 			ls.partitioned = false
 			ls.extra, ls.jitter = 0, 0
+			ls.tear, ls.tearJitter = 0, 0
 			f.release(ls)
 			delete(f.links, k)
 		}
@@ -194,6 +225,21 @@ func (qp *QP) linkDelay() sim.Duration {
 	d := ls.extra
 	if ls.jitter > 0 {
 		d += sim.Duration(qp.fabric().eng.Rand().Int63n(int64(ls.jitter) + 1))
+	}
+	return d
+}
+
+// tearDelay returns how much later one write's interior bytes land on this
+// QP's link: zero on a healthy link, the installed tear plus a fresh
+// jitter draw under a torn-write fault.
+func (qp *QP) tearDelay() sim.Duration {
+	ls := qp.fabric().link(qp.from.id, qp.to.id)
+	if ls == nil || (ls.tear <= 0 && ls.tearJitter <= 0) {
+		return 0
+	}
+	d := ls.tear
+	if ls.tearJitter > 0 {
+		d += sim.Duration(qp.fabric().eng.Rand().Int63n(int64(ls.tearJitter) + 1))
 	}
 	return d
 }

@@ -53,6 +53,12 @@ type LatencyModel struct {
 	CASExtra    sim.Duration // extra remote-NIC time for an atomic op
 	FailTimeout sim.Duration // delay before an op on a crashed target errors
 
+	// CRCBytesPerNS is the reader-CPU throughput of validating a frame's
+	// CRC32-C — the compute leg every checksummed-object read pays. Modern
+	// cores run hardware CRC32-C at ~20 bytes/ns; zero makes validation
+	// free (the ablation baseline).
+	CRCBytesPerNS int
+
 	// Verb-chain refinements (doorbell batching, inline sends, selective
 	// signaling). The zero values disable all of them, reproducing the
 	// one-doorbell-per-verb model exactly.
@@ -96,6 +102,8 @@ func DefaultLatency() LatencyModel {
 		InlineThreshold: 220, // mlx5-style max_inline_data
 		InlineCost:      20 * sim.Nanosecond,
 		InlineDMASaving: 300 * sim.Nanosecond,
+
+		CRCBytesPerNS: 20, // hardware CRC32-C, one core
 	}
 }
 
@@ -112,6 +120,15 @@ func (m LatencyModel) transfer(n int) sim.Duration {
 	return sim.Duration(n / m.BytesPerNS)
 }
 
+// CRCCost returns the reader-CPU occupancy of checksumming n bytes — the
+// compute leg of a single-RTT validated read.
+func (m LatencyModel) CRCCost(n int) sim.Duration {
+	if m.CRCBytesPerNS <= 0 {
+		return 0
+	}
+	return sim.Duration(n / m.CRCBytesPerNS)
+}
+
 // Stats counts verb activity for tests and ablation reports.
 type Stats struct {
 	Writes, Reads, CASes uint64
@@ -125,6 +142,7 @@ type Stats struct {
 
 	Partitions uint64 // directed-link partitions installed (fault injection)
 	Parked     uint64 // verbs parked at the NIC by a partitioned link
+	TornWrites uint64 // writes landed in two fragments by a torn-link fault
 }
 
 // Fabric is a simulated RDMA network connecting a fixed set of nodes.
@@ -143,6 +161,7 @@ type Fabric struct {
 
 	mParked     *metrics.Counter // verbs parked by partitioned links
 	mPartitions *metrics.Counter // link partitions installed
+	mTorn       *metrics.Counter // writes landed out of order by torn links
 }
 
 // NewFabric creates a fabric with n nodes using the given cost model.
@@ -182,6 +201,7 @@ func (f *Fabric) EnableMetrics(reg *metrics.Registry) {
 	f.reg = reg
 	f.mParked = reg.Counter("rdma.parked_verbs")
 	f.mPartitions = reg.Counter("rdma.link_partitions")
+	f.mTorn = reg.Counter("rdma.torn_writes")
 	for _, n := range f.nodes {
 		for _, qp := range n.qps {
 			qp.instrument(reg)
@@ -518,23 +538,70 @@ func (qp *QP) write(region string, off int, data []byte, label string, onDone fu
 		}
 		posted := f.eng.Now()
 		landed := qp.landAt(len(buf), inline)
-		qp.m.writeLat.Observe(sim.Duration(landed-posted) + f.lat.AckLatency)
+		interior := qp.tearAt(landed, len(buf))
+		qp.m.writeLat.Observe(sim.Duration(interior-posted) + f.lat.AckLatency)
 		f.eng.At(landed, func() {
 			if qp.to.crashed { // crashed while in flight
 				f.stats.Failed++
-				qp.complete(landed, onDone, ErrCrashed)
+				qp.complete(interior, onDone, ErrCrashed)
 				return
 			}
 			r := qp.to.regions[region]
 			err := checkAccess(r, qp.from.id, off, len(buf), true)
 			if err == nil {
-				copy(r.buf[off:], buf)
-				qp.traceVerb(trace.Wire, label, "write", "landed", len(buf))
+				qp.land(r, off, buf, interior, label, "write")
 			} else {
 				f.stats.Failed++
 			}
-			qp.complete(landed, onDone, err)
+			qp.complete(interior, onDone, err)
 		})
+	})
+}
+
+// tearAt returns the landing time of a write's interior bytes: landed
+// itself on a healthy link, later when the link carries a torn-write fault
+// and the payload is large enough to split (the boundary fragment is the
+// first and last four bytes, so tearing needs more than eight). The QP's
+// ordering horizon advances to the interior time, keeping later writes on
+// this RC QP ordered after every byte of this one.
+func (qp *QP) tearAt(landed sim.Time, n int) sim.Time {
+	tear := qp.tearDelay()
+	if tear <= 0 || n <= 8 {
+		return landed
+	}
+	f := qp.fabric()
+	f.stats.TornWrites++
+	f.mTorn.Inc()
+	interior := landed + sim.Time(tear)
+	if interior > qp.lastLand {
+		qp.lastLand = interior
+	}
+	return interior
+}
+
+// land copies one write's payload into the target region. On a healthy
+// link (interior == landed, the current time) the whole payload lands
+// atomically. Under a torn-link fault the boundary bytes — the first and
+// last four, exactly the words the length/canary and seqlock validation
+// schemes sample — land now, and the interior follows at interior: the
+// out-of-order byte landing real NICs permit within one work request. A
+// target that crashes in between is left permanently torn.
+func (qp *QP) land(r *Region, off int, buf []byte, interior sim.Time, label, verb string) {
+	f := qp.fabric()
+	if interior <= f.eng.Now() {
+		copy(r.buf[off:], buf)
+		qp.traceVerb(trace.Wire, label, verb, "landed", len(buf))
+		return
+	}
+	copy(r.buf[off:off+4], buf[:4])
+	copy(r.buf[off+len(buf)-4:], buf[len(buf)-4:])
+	qp.traceVerb(trace.Wire, label, verb, "boundary landed (torn)", len(buf))
+	f.eng.At(interior, func() {
+		if qp.to.crashed {
+			return // the write's remaining bytes die with the NIC: region stays torn
+		}
+		copy(r.buf[off+4:], buf[4:len(buf)-4])
+		qp.traceVerb(trace.Wire, label, verb, "interior landed", len(buf))
 	})
 }
 
@@ -649,9 +716,10 @@ func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
 		for i := range chain {
 			w := chain[i]
 			landed := qp.landAt(len(w.buf), w.inline)
+			interior := qp.tearAt(landed, len(w.buf))
 			last := i == len(chain)-1
 			if last {
-				qp.m.writeLat.Observe(sim.Duration(landed-posted) + lat.AckLatency)
+				qp.m.writeLat.Observe(sim.Duration(interior-posted) + lat.AckLatency)
 			}
 			f.eng.At(landed, func() {
 				switch {
@@ -668,17 +736,16 @@ func (qp *QP) PostChain(wrs []WR, onDone func(error)) {
 					r := qp.to.regions[w.region]
 					err := checkAccess(r, qp.from.id, w.off, len(w.buf), true)
 					if err == nil {
-						copy(r.buf[w.off:], w.buf)
-						qp.traceVerb(trace.Wire, w.label, "chain", "landed", len(w.buf))
+						qp.land(r, w.off, w.buf, interior, w.label, "chain")
 					} else {
 						f.stats.Failed++
 						chainErr = err
 					}
 				}
 				if last {
-					qp.complete(landed, onDone, chainErr)
+					qp.complete(interior, onDone, chainErr)
 				} else if lat.ChainSignalAll {
-					qp.complete(landed, func(error) {}, nil)
+					qp.complete(interior, func(error) {}, nil)
 				}
 			})
 		}

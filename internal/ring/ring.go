@@ -11,17 +11,21 @@
 // The writer keeps the tail locally (the paper: "a tail that is remotely
 // stored at the single writer node") and a cached copy of the head; an
 // append is therefore a purely local computation followed by one remote
-// write. Records are self-delimiting (codec framing: u32 length … canary
-// byte); the reader detects a complete record by its non-zero length word
-// and trailing canary, consumes it, zeroes the bytes for reuse and
-// advances its head. Records never span the wrap boundary: the writer
-// leaves a skip marker and continues at offset zero.
+// write. Records are self-delimiting (codec framing: u32 length … u32 crc,
+// canary byte); the reader detects a complete record by its non-zero
+// length word and trailing canary, validates the whole frame against the
+// CRC32-C trailer (the canary alone cannot prove the interior bytes have
+// landed), consumes it, zeroes the bytes for reuse and advances its head.
+// Records never span the wrap boundary: the writer leaves a skip marker
+// and continues at offset zero.
 package ring
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"hamband/internal/codec"
 )
 
 // HeaderSize is the region prefix holding the head counter.
@@ -32,6 +36,13 @@ const skipMarker = 0xFFFFFFFF
 
 // ErrCorrupt reports a reader finding an impossible record layout.
 var ErrCorrupt = errors.New("ring: corrupt record")
+
+// tornRetryLimit bounds how many consecutive polls may observe the same
+// record failing its CRC before the reader declares the writer dead mid-
+// write and parks. A torn landing completes within one fabric delay —
+// orders of magnitude under a poll period — so a record torn this long is
+// never going to heal.
+const tornRetryLimit = 8
 
 // RegionSize returns the memory-region size for a ring of the given data
 // capacity.
@@ -132,9 +143,13 @@ func DecodeHead(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
 // Reader is the local-reader side of a ring, operating directly on the
 // region's memory.
 type Reader struct {
-	region   []byte // full region: header + data
-	capacity uint64
-	head     uint64
+	region     []byte // full region: header + data
+	capacity   uint64
+	head       uint64
+	torn       uint64 // records rejected by the CRC check
+	tornStreak int    // consecutive polls rejecting the same offset
+	parked     error  // sticky quarantine diagnosis; nil while healthy
+	validate   bool   // CRC validation on (production); off = canary-only
 }
 
 // NewReader returns a reader over region, which must have been sized with
@@ -143,18 +158,44 @@ func NewReader(region []byte) *Reader {
 	if len(region) <= HeaderSize {
 		panic("ring: region too small")
 	}
-	return &Reader{region: region, capacity: uint64(len(region) - HeaderSize)}
+	return &Reader{region: region, capacity: uint64(len(region) - HeaderSize), validate: true}
 }
 
 // Head returns the logical head (bytes consumed).
 func (r *Reader) Head() uint64 { return r.head }
 
+// TornRejects returns how many polls the CRC check has rejected — each one
+// a read the canary-only scheme would have falsely accepted or a write
+// still landing.
+func (r *Reader) TornRejects() uint64 { return r.torn }
+
+// Parked returns the sticky diagnosis if the reader has quarantined the
+// ring, nil while it is healthy. A parked reader reported the fault from
+// Poll exactly once; afterwards Poll reports an idle ring rather than the
+// same error forever.
+func (r *Reader) Parked() error { return r.parked }
+
+// DisableChecksum reverts the reader to canary-only record validation —
+// the pre-CRC scheme, which false-accepts a record whose final byte lands
+// before its interior. Retained solely as the ablation baseline for
+// regression tests proving that hazard; production readers must keep
+// validation on.
+func (r *Reader) DisableChecksum() { r.validate = false }
+
 // Poll attempts to consume one record. It returns a copy of the record
-// (including framing) when one is complete, (nil, false, nil) when the ring
-// is empty or the next record's write is still in flight, and an error on
-// a corrupt layout. Consumed bytes are zeroed and the head counter in the
-// region header is advanced for the remote writer's flow control.
+// (including framing) when one is complete and validated, and
+// (nil, false, nil) when the ring is empty, the next record's write is
+// still landing, or the reader is parked. A corrupt layout — an impossible
+// length word, or a record whose CRC never validates within the bounded
+// retry window — is surfaced exactly once, with offset and head
+// diagnostics, and parks the reader: subsequent polls return idle instead
+// of re-reporting the same fault every poll. Consumed bytes are zeroed and
+// the head counter in the region header is advanced for the remote
+// writer's flow control.
 func (r *Reader) Poll() ([]byte, bool, error) {
+	if r.parked != nil {
+		return nil, false, nil
+	}
 	for {
 		data := r.region[HeaderSize:]
 		pos := r.head % r.capacity
@@ -173,8 +214,9 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 			continue
 		}
 		n := uint64(lenWord)
-		if n > boundary || n > r.capacity/2 {
-			return nil, false, fmt.Errorf("%w: length %d at offset %d", ErrCorrupt, n, pos)
+		if n < codec.RawOverhead || n > boundary || n > r.capacity/2 {
+			return r.park(fmt.Errorf("%w: length %d at offset %d (head %d): ring parked",
+				ErrCorrupt, n, pos, r.head))
 		}
 		if data[pos+n-1] == 0 {
 			// Canary missing: record write in flight; retry later. (The
@@ -182,10 +224,33 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 			// non-zero by construction.)
 			return nil, false, nil
 		}
+		if r.validate {
+			// The canary alone proves only that the record's final byte
+			// landed — not its interior, which the fabric may deliver
+			// later. The CRC trailer validates the whole frame in this
+			// single pass.
+			if err := codec.ValidateRecord(data[pos : pos+n]); err != nil {
+				r.torn++
+				r.tornStreak++
+				if r.tornStreak >= tornRetryLimit {
+					return r.park(fmt.Errorf(
+						"%w: record at offset %d (head %d) failed CRC on %d consecutive polls: ring parked",
+						ErrCorrupt, pos, r.head, r.tornStreak))
+				}
+				return nil, false, nil // torn landing: retry next poll
+			}
+			r.tornStreak = 0
+		}
 		out := append([]byte(nil), data[pos:pos+n]...)
 		r.advance(pos, n)
 		return out, true, nil
 	}
+}
+
+// park records the quarantine diagnosis and surfaces it this one time.
+func (r *Reader) park(err error) ([]byte, bool, error) {
+	r.parked = err
+	return nil, false, err
 }
 
 // advance zeroes n bytes at pos, moves the head and publishes it in the

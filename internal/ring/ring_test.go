@@ -81,7 +81,7 @@ func TestFlowControlAndNoteHead(t *testing.T) {
 	region := make([]byte, RegionSize(128))
 	w := NewWriter(128)
 	r := NewReader(region)
-	rec := record(t, 1, 1) // ~30 bytes
+	rec := record(t, 1, 1) // 37 bytes
 	n := 0
 	for {
 		writes, ok := w.Append(rec)
@@ -207,7 +207,7 @@ func TestSkipMarkerPath(t *testing.T) {
 	w := NewWriter(capacity)
 	r := NewReader(region)
 
-	first := record(t, 1, 1, 2, 3, 4) // 53 bytes: offsets the tail
+	first := record(t, 1, 1, 2, 3, 4) // 61 bytes: offsets the tail
 	writes, ok := w.Append(first)
 	if !ok {
 		t.Fatal("first append refused")
@@ -218,8 +218,8 @@ func TestSkipMarkerPath(t *testing.T) {
 	}
 	w.NoteHead(DecodeHead(region))
 
-	// Now the tail sits mid-ring; append 69-byte records until one must
-	// wrap with a marker (boundary 65 ≥ 4 at the third append).
+	// Now the tail sits mid-ring; append 77-byte records until one must
+	// wrap with a marker (boundary 41 ≥ 4 at the fourth append).
 	wrapped := false
 	for i := uint64(2); i < 20; i++ {
 		rec := record(t, i, 9, 9, 9, 9, 9, 9)

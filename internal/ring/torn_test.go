@@ -1,0 +1,196 @@
+package ring
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"hamband/internal/codec"
+)
+
+// landBoundary lands only a write's first and last four bytes — the
+// out-of-order fragment a NIC may deliver first within one work request.
+func landBoundary(region []byte, w Write) {
+	copy(region[w.Off:], w.Data[:4])
+	copy(region[w.Off+len(w.Data)-4:], w.Data[len(w.Data)-4:])
+}
+
+// TestCanaryFirstLandingRejected is the regression test for the canary
+// false accept: a record whose final byte (the canary) lands before its
+// interior used to be consumed corrupt. The CRC-validating reader must hold
+// it back, count the rejection, and deliver it intact once the interior
+// lands.
+func TestCanaryFirstLandingRejected(t *testing.T) {
+	region := make([]byte, RegionSize(256))
+	w := NewWriter(256)
+	r := NewReader(region)
+
+	payload := bytes.Repeat([]byte{0xEE}, 32)
+	rec, err := codec.EncodeRaw(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, ok := w.Append(rec)
+	if !ok || len(writes) != 1 {
+		t.Fatalf("append = (%d writes, %v)", len(writes), ok)
+	}
+
+	// Boundary fragment only: length word and canary present, interior
+	// still zero. The canary check alone would consume this.
+	landBoundary(region, writes[0])
+	if got, ok, perr := r.Poll(); ok || perr != nil {
+		t.Fatalf("poll consumed a torn record: (%q, %v, %v)", got, ok, perr)
+	}
+	if r.TornRejects() != 1 {
+		t.Fatalf("TornRejects = %d, want 1", r.TornRejects())
+	}
+
+	// The ablation baseline consumes the same bytes — the bug being pinned.
+	legacy := NewReader(append([]byte(nil), region...))
+	legacy.DisableChecksum()
+	got, ok, perr := legacy.Poll()
+	if perr != nil || !ok {
+		t.Fatalf("canary-only poll = (%v, %v); the false accept this test pins requires a consume", ok, perr)
+	}
+	if _, _, derr := codec.DecodeRaw(got); !errors.Is(derr, codec.ErrTorn) {
+		t.Fatalf("canary-only reader delivered %v, want a corrupt (torn) record", derr)
+	}
+
+	// Interior lands: the validating reader delivers the intact record and
+	// its torn streak resets.
+	apply(region, writes)
+	got, ok, perr = r.Poll()
+	if perr != nil || !ok || !bytes.Equal(got, rec) {
+		t.Fatalf("healed poll = (%q, %v, %v)", got, ok, perr)
+	}
+	if _, ok, _ := r.Poll(); ok {
+		t.Fatal("phantom record after heal")
+	}
+}
+
+// TestCorruptLengthParksOnce pins the reporting contract for impossible
+// layouts: the diagnosis (with offset and head) surfaces from Poll exactly
+// once, subsequent polls report an idle ring instead of hot-looping the
+// same error, and Parked exposes the sticky diagnosis.
+func TestCorruptLengthParksOnce(t *testing.T) {
+	region := make([]byte, RegionSize(256))
+	// A length word smaller than any framed record: impossible layout.
+	region[HeaderSize] = 3
+	r := NewReader(region)
+
+	_, ok, err := r.Poll()
+	if ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("poll = (%v, %v), want ErrCorrupt", ok, err)
+	}
+	for _, want := range []string{"length 3", "offset 0", "head 0", "parked"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnosis %q missing %q", err, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, perr := r.Poll(); ok || perr != nil {
+			t.Fatalf("poll %d after park = (%v, %v), want idle", i, ok, perr)
+		}
+	}
+	if perr := r.Parked(); !errors.Is(perr, ErrCorrupt) {
+		t.Fatalf("Parked() = %v, want the sticky ErrCorrupt", perr)
+	}
+}
+
+// TestPersistentTornRecordParks pins the bounded retry: a record that fails
+// its CRC on tornRetryLimit consecutive polls (the writer died mid-write;
+// the interior is never coming) parks the ring with a one-time diagnosis
+// instead of retrying forever.
+func TestPersistentTornRecordParks(t *testing.T) {
+	region := make([]byte, RegionSize(256))
+	w := NewWriter(256)
+	r := NewReader(region)
+
+	rec, err := codec.EncodeRaw([]byte("never-completed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, _ := w.Append(rec)
+	landBoundary(region, writes[0]) // interior never lands
+
+	var parked error
+	polls := 0
+	for i := 0; i < tornRetryLimit+4; i++ {
+		_, ok, perr := r.Poll()
+		if ok {
+			t.Fatal("consumed a permanently torn record")
+		}
+		polls++
+		if perr != nil {
+			parked = perr
+			break
+		}
+	}
+	if parked == nil {
+		t.Fatalf("reader never parked after %d polls of a dead record", polls)
+	}
+	if polls != tornRetryLimit {
+		t.Fatalf("parked after %d polls, want %d", polls, tornRetryLimit)
+	}
+	for _, want := range []string{"failed CRC", "offset 0", "parked"} {
+		if !strings.Contains(parked.Error(), want) {
+			t.Errorf("diagnosis %q missing %q", parked, want)
+		}
+	}
+	if got := r.TornRejects(); got != uint64(tornRetryLimit) {
+		t.Fatalf("TornRejects = %d, want %d", got, tornRetryLimit)
+	}
+	// Parked is sticky and quiet.
+	if _, ok, perr := r.Poll(); ok || perr != nil {
+		t.Fatalf("poll after park = (%v, %v), want idle", ok, perr)
+	}
+	if r.Parked() == nil {
+		t.Fatal("Parked() = nil after quarantine")
+	}
+}
+
+// TestTornStreakResetsAcrossRecords pins that the consecutive-failure
+// counter is per-stuck-record, not cumulative: torn landings that heal
+// within a few polls never add up to a park, even across many records.
+func TestTornStreakResetsAcrossRecords(t *testing.T) {
+	region := make([]byte, RegionSize(512))
+	w := NewWriter(512)
+	r := NewReader(region)
+
+	for i := 0; i < 2*tornRetryLimit; i++ {
+		rec, err := codec.EncodeRaw(bytes.Repeat([]byte{byte(i + 1)}, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes, ok := w.Append(rec)
+		if !ok {
+			w.NoteHead(DecodeHead(region))
+			if writes, ok = w.Append(rec); !ok {
+				t.Fatalf("ring full at record %d", i)
+			}
+		}
+		// Land any wrap skip marker fully, then only the record's boundary.
+		apply(region, writes[:len(writes)-1])
+		landBoundary(region, writes[len(writes)-1])
+		// A few torn polls, each rejected...
+		for p := 0; p < tornRetryLimit-1; p++ {
+			if _, ok, perr := r.Poll(); ok || perr != nil {
+				t.Fatalf("record %d poll %d = (%v, %v)", i, p, ok, perr)
+			}
+		}
+		// ...then the interior lands and the record delivers.
+		apply(region, writes)
+		got, ok, perr := r.Poll()
+		if perr != nil || !ok || !bytes.Equal(got, rec) {
+			t.Fatalf("record %d healed poll = (%v, %v)", i, ok, perr)
+		}
+	}
+	if r.Parked() != nil {
+		t.Fatalf("healing torn records parked the ring: %v", r.Parked())
+	}
+	want := uint64(2 * tornRetryLimit * (tornRetryLimit - 1))
+	if got := r.TornRejects(); got != want {
+		t.Fatalf("TornRejects = %d, want %d", got, want)
+	}
+}

@@ -9,14 +9,15 @@ import (
 )
 
 // rec builds a codec-framed record whose total framed size is n bytes
-// (codec raw framing adds 5 bytes: u32 length + canary). The payload is
-// stamped with tag so consumed records can be matched byte-for-byte.
+// (codec raw framing adds RawOverhead bytes: u32 length + u32 crc +
+// canary). The payload is stamped with tag so consumed records can be
+// matched byte-for-byte.
 func rec(t *testing.T, n int, tag byte) []byte {
 	t.Helper()
-	if n < 6 {
+	if n <= codec.RawOverhead {
 		t.Fatalf("record size %d below framing minimum", n)
 	}
-	payload := make([]byte, n-5)
+	payload := make([]byte, n-codec.RawOverhead)
 	for i := range payload {
 		payload[i] = tag
 	}
@@ -84,7 +85,7 @@ func TestWrapBoundaryPlacement(t *testing.T) {
 
 		// The second record ended exactly at the boundary: no skip, and the
 		// third record starts back at offset zero.
-		c := rec(t, 8, 'c')
+		c := rec(t, 12, 'c')
 		writes, ok := w.Append(c)
 		if !ok || writes[0].Off != HeaderSize {
 			t.Fatalf("post-boundary append placed %+v, want offset %d", writes, HeaderSize)
@@ -195,7 +196,7 @@ func TestWrapBoundaryPlacement(t *testing.T) {
 // match whenever the ring drains.
 func TestWrapBoundarySweep(t *testing.T) {
 	const capacity = 64
-	for size := 6; size <= 30; size++ {
+	for size := codec.RawOverhead + 1; size <= 30; size++ {
 		region := make([]byte, RegionSize(capacity))
 		w := NewWriter(capacity)
 		r := NewReader(region)
