@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet staticcheck race check-race bench bench-snapshot benchstat fuzz chaos conform cover check
+.PHONY: all build test vet staticcheck race check-race bench bench-snapshot bench-wire benchstat fuzz chaos conform cover check
 
 all: check
 
@@ -62,15 +62,23 @@ bench:
 
 # bench-snapshot regenerates the canonical benchmark snapshot committed at
 # the repo root (deterministic: same ops+seed give identical bytes).
-SNAPSHOT ?= BENCH_PR2.json
+SNAPSHOT ?= BENCH_PR7.json
 bench-snapshot:
 	$(GO) run ./cmd/hambench -exp snapshot -snapshot-out $(SNAPSHOT)
 
-# benchstat compares two snapshots: make benchstat OLD=a.json NEW=b.json
-OLD ?= BENCH_PR2.json
-NEW ?= BENCH_PR2.json
+# bench-wire runs the δ-vs-full wire-efficiency ablation: bytes on the wire
+# per op, reduction, and wire-stage latency share per class.
+bench-wire:
+	$(GO) run ./cmd/hambench -exp wire
+
+# benchstat compares two snapshots: make benchstat OLD=a.json NEW=b.json.
+# MAXREGRESS, when nonzero, fails the target if any fig8 point's throughput
+# drops by more than that percentage — the CI regression gate.
+OLD ?= BENCH_PR5.json
+NEW ?= BENCH_PR7.json
+MAXREGRESS ?= 0
 benchstat:
-	$(GO) run ./cmd/hambench -exp benchstat -old $(OLD) -new $(NEW)
+	$(GO) run ./cmd/hambench -exp benchstat -old $(OLD) -new $(NEW) -max-regress $(MAXREGRESS)
 
 # Each fuzz target gets a short fixed budget; go test only allows one
 # -fuzz pattern per package invocation.
@@ -80,4 +88,5 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeSlot -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzSlot -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRaw -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run=^$$ -fuzz=FuzzDeltaEntry -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=^$$ -fuzz=FuzzPlanJSON -fuzztime=$(FUZZTIME) ./internal/chaos

@@ -60,11 +60,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, snapshot, benchstat, chaos, conform")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, wire, snapshot, benchstat, chaos, conform")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
 	latencyJSON := flag.String("latency-json", "", "write the latency experiment's per-stage snapshot as JSON to FILE (compare with -exp benchstat)")
+	wireJSON := flag.String("wire-json", "", "write the wire experiment's per-class snapshot as JSON to FILE (compare with -exp benchstat)")
+	maxRegress := flag.Float64("max-regress", 0, "benchstat: exit 1 if any fig8 point's throughput drops by more than this percentage (0 disables)")
 	chromeTrace := flag.String("chrome-trace", "", "write a chrome://tracing event file for the metrics experiment to FILE")
 	snapshotOut := flag.String("snapshot-out", "BENCH.json", "output file for the snapshot experiment")
 	oldSnap := flag.String("old", "", "benchstat: baseline snapshot file")
@@ -100,7 +102,7 @@ func main() {
 	case "snapshot":
 		writeSnapshot(cfg, *snapshotOut)
 	case "benchstat":
-		compareSnapshots(*oldSnap, *newSnap)
+		compareSnapshots(*oldSnap, *newSnap, *maxRegress)
 	case "costs":
 		cfg.Costs()
 	case "trace":
@@ -111,6 +113,8 @@ func main() {
 		cfg.Metrics(fileWriter(*metricsJSON), fileWriter(*chromeTrace))
 	case "latency":
 		cfg.Latency(fileWriter(*latencyJSON))
+	case "wire":
+		cfg.Wire(fileWriter(*wireJSON))
 	case "analysis":
 		printAnalyses()
 	case "chaos":
@@ -208,7 +212,10 @@ func writeSnapshot(cfg bench.Config, path string) {
 }
 
 // compareSnapshots prints throughput and p99 deltas between two snapshots.
-func compareSnapshots(oldPath, newPath string) {
+// With a nonzero maxRegress it additionally gates the fig8 points: any
+// matched point whose throughput dropped by more than that percentage makes
+// the command exit nonzero — the CI regression check.
+func compareSnapshots(oldPath, newPath string, maxRegress float64) {
 	if oldPath == "" || newPath == "" {
 		fmt.Fprintln(os.Stderr, "hambench: -exp benchstat needs -old FILE and -new FILE")
 		os.Exit(2)
@@ -227,7 +234,17 @@ func compareSnapshots(oldPath, newPath string) {
 		}
 		return s
 	}
-	bench.CompareSnapshots(os.Stdout, read(oldPath), read(newPath))
+	old, cur := read(oldPath), read(newPath)
+	bench.CompareSnapshots(os.Stdout, old, cur)
+	if maxRegress > 0 {
+		bad := bench.RegressionCheck(old, cur, "fig8", maxRegress)
+		for _, msg := range bad {
+			fmt.Fprintf(os.Stderr, "hambench: regression: %s\n", msg)
+		}
+		if len(bad) > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 // fileWriter opens path for writing, or returns nil when no path was given

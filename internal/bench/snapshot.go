@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"hamband/internal/crdt"
 	"hamband/internal/schema"
@@ -24,6 +25,9 @@ type SnapPoint struct {
 	P50Us       float64 `json:"p50_us"`
 	P95Us       float64 `json:"p95_us"`
 	P99Us       float64 `json:"p99_us"`
+	// BytesPerOp records the fabric bytes shipped per completed op; only
+	// the wire-efficiency points set it (zero elsewhere, omitted in JSON).
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
 }
 
 // Snapshot is the canonical benchmark record written to BENCH_PR<n>.json at
@@ -93,7 +97,59 @@ func (cfg Config) Snapshot() Snapshot {
 			add("doorbell/"+v.name, Hamband.String(), 4, d.ratio, r)
 		}
 	}
+	wireOps := cfg.Ops / 4
+	if wireOps < 500 {
+		wireOps = 500
+	}
+	for _, mk := range []func() *spec.Class{crdt.NewCounter, crdt.NewGSet, crdt.NewLWWMap} {
+		for _, deltaOn := range []bool{false, true} {
+			exp := "wire/full"
+			if deltaOn {
+				exp = "wire/delta"
+			}
+			r, bytes, _ := cfg.wirePoint(mk(), 4, wireOps, deltaOn)
+			s.Points = append(s.Points, SnapPoint{
+				Experiment:  exp,
+				System:      Hamband.String(),
+				Class:       r.Class,
+				Nodes:       4,
+				UpdateRatio: 1.0,
+				OpsPerUs:    r.Throughput(),
+				MeanRTUs:    r.MeanRT.Micros(),
+				P50Us:       r.Percentile(50).Micros(),
+				P95Us:       r.Percentile(95).Micros(),
+				P99Us:       r.Percentile(99).Micros(),
+				BytesPerOp:  bytes,
+			})
+		}
+	}
 	return s
+}
+
+// RegressionCheck compares every current point whose experiment name starts
+// with prefix against the baseline and returns one message per point whose
+// throughput dropped by more than maxDropPct percent. Points missing from
+// either side are ignored — only like-for-like pairs can regress.
+func RegressionCheck(old, cur Snapshot, prefix string, maxDropPct float64) []string {
+	idx := make(map[string]SnapPoint, len(old.Points))
+	for _, p := range old.Points {
+		idx[p.key()] = p
+	}
+	var bad []string
+	for _, np := range cur.Points {
+		if !strings.HasPrefix(np.Experiment, prefix) {
+			continue
+		}
+		op, ok := idx[np.key()]
+		if !ok || op.OpsPerUs == 0 {
+			continue
+		}
+		if d := pctDelta(op.OpsPerUs, np.OpsPerUs); d < -maxDropPct {
+			bad = append(bad, fmt.Sprintf("%s %s %s: throughput %.2f -> %.2f ops/µs (%.1f%%)",
+				np.Experiment, np.System, np.Class, op.OpsPerUs, np.OpsPerUs, d))
+		}
+	}
+	return bad
 }
 
 // WriteJSON writes the snapshot as indented JSON.

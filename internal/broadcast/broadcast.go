@@ -469,7 +469,7 @@ func (r *Receiver) RecoverFrom(src rdma.NodeID) {
 		return
 	}
 	r.mRecoveries.Inc()
-	r.recoverSweep(src, backupReadRetries)
+	r.recoverSweep(src, backupReadRetries, make(map[int]uint32))
 }
 
 // backupReadRetries bounds the re-reads a recovery sweep earns when a
@@ -479,7 +479,12 @@ func (r *Receiver) RecoverFrom(src rdma.NodeID) {
 // recoverable.
 const backupReadRetries = 3
 
-func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int) {
+// recoverSweep reads the whole backup region and recovers every validated
+// slot. A torn slot earns a bounded re-read of the region; seen maps slot
+// index → slot version across those passes so a slot recovered in an
+// earlier pass is not processed (and counted) again when only its torn
+// neighbour needed the retry.
+func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int, seen map[int]uint32) {
 	size := r.cfg.BackupSlots * r.cfg.BackupSlot
 	r.node.QP(src).Read(r.cfg.backupRegion(), 0, size, func(data []byte, err error) {
 		if err != nil {
@@ -488,7 +493,7 @@ func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int) {
 		tornSeen := false
 		for slot := 0; slot < r.cfg.BackupSlots; slot++ {
 			framed := data[slot*r.cfg.BackupSlot : (slot+1)*r.cfg.BackupSlot]
-			msg, _, derr := codec.DecodeSlot(framed)
+			msg, ver, derr := codec.DecodeSlot(framed)
 			if derr != nil {
 				if errors.Is(derr, codec.ErrTorn) {
 					r.mTorn.Inc()
@@ -496,6 +501,10 @@ func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int) {
 				}
 				continue
 			}
+			if seen[slot] == ver {
+				continue
+			}
+			seen[slot] = ver
 			seq, record, derr := decodeMessage(msg)
 			if derr != nil {
 				continue
@@ -515,7 +524,7 @@ func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int) {
 		if tornSeen && retriesLeft > 0 {
 			// Bounded retry-on-invalid: re-read the backups so a torn slot
 			// whose interior lands momentarily is still recovered.
-			r.recoverSweep(src, retriesLeft-1)
+			r.recoverSweep(src, retriesLeft-1, seen)
 		}
 	})
 }

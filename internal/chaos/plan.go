@@ -111,6 +111,16 @@ type Plan struct {
 	// the conformance harness's checks must catch.
 	MutateApplyOrder bool `json:"mutate_apply_order,omitempty"`
 
+	// FullSummaries disables the δ-mutation pipeline (summary slots carry
+	// full state only, F-records use the legacy fixed-width framing) — the
+	// ablation arm for delta-vs-full chaos comparisons.
+	FullSummaries bool `json:"full_summaries,omitempty"`
+
+	// AnchorInterval, when positive, overrides the δ-log's full-state
+	// re-anchor period. Small values stress the anchor/δ interleaving;
+	// ignored under FullSummaries.
+	AnchorInterval int `json:"anchor_interval,omitempty"`
+
 	Events []Event `json:"events"`
 }
 

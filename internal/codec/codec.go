@@ -38,6 +38,13 @@ var (
 	ErrCorrupt    = errors.New("codec: record corrupt")
 	ErrTooLarge   = errors.New("codec: record exceeds limit")
 	ErrTorn       = errors.New("codec: torn slot read")
+
+	// ErrTruncated marks a record whose header promises more bytes than
+	// the buffer holds — a mid-write partial the reader should retry, as
+	// opposed to ErrCorrupt's structural garbage that a retry can never
+	// heal. It wraps ErrIncomplete so callers that only distinguish
+	// retry-vs-park keep working unchanged.
+	ErrTruncated = fmt.Errorf("%w (truncated mid-write)", ErrIncomplete)
 )
 
 // MaxRecord bounds a single encoded record. Buffers size their slots and
@@ -108,7 +115,10 @@ func entrySize(c spec.Call, d spec.DepVec) int {
 // DecodeEntry parses a record produced by EncodeEntry from the front of b.
 // It returns the call, its dependency record and the total record length
 // consumed. ErrIncomplete is returned when the buffer starts with a zero
-// length (no record) or the record's canary has not landed yet.
+// length (no record); ErrTruncated (which wraps ErrIncomplete) when the
+// length word promises bytes the buffer does not hold or the canary has
+// not landed — a mid-write partial, distinct from ErrCorrupt so ring
+// readers retry instead of parking.
 func DecodeEntry(b []byte) (spec.Call, spec.DepVec, int, error) {
 	var zero spec.Call
 	if len(b) < 4 {
@@ -122,10 +132,10 @@ func DecodeEntry(b []byte) (spec.Call, spec.DepVec, int, error) {
 		return zero, nil, 0, fmt.Errorf("%w: bad length %d", ErrCorrupt, total)
 	}
 	if len(b) < total {
-		return zero, nil, 0, ErrIncomplete
+		return zero, nil, 0, ErrTruncated
 	}
 	if b[total-1] != Canary {
-		return zero, nil, 0, ErrIncomplete // write in flight
+		return zero, nil, 0, ErrTruncated // write in flight
 	}
 	if binary.LittleEndian.Uint32(b[total-RecordTrailer:]) != Checksum(b[:total-RecordTrailer]) {
 		return zero, nil, 0, ErrTorn

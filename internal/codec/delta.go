@@ -1,0 +1,324 @@
+// Delta-record framing and varint packing — the wire diet for δ-state
+// dissemination (Almeida et al.): reducible classes ship each mutation as a
+// small δ-record and periodically anchor the full summarized state, instead
+// of overwriting the full serialized summary on every call.
+//
+// A δ-record is a self-delimiting, CRC-validated frame like PR 6's records:
+//
+//	u32 total | kind | uvarint version | packed counts | packed call | u32 crc | canary
+//
+// The kind byte names the record's role in a delta-group: FrameFull is a
+// packed full call record (the δ-mutation broadcast path), FrameDelta one
+// folded reducible call, FrameAnchor a full summarized state. Kind bytes
+// live above 0xF0 so a delta record can never be confused with a legacy
+// EncodeEntry record, whose fifth byte is a method id's low byte.
+//
+// All integers are varint-packed; spec.DepVec and the per-method applied
+// counts use a columnar delta encoding (first value, then zigzag deltas
+// between consecutive values) since neighbouring counts are near each
+// other. Varints must be canonical: an overlong encoding (a value that fits
+// fewer bytes, or more than ten bytes) decodes as ErrCorrupt, never as a
+// second representation of the same record.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hamband/internal/spec"
+)
+
+// Delta-record kinds. Values above 0xF0 are unreachable as the fifth byte
+// of a legacy entry record (a u16 method id's low byte for any real class).
+const (
+	FrameFull   byte = 0xF1 // packed full call record (δ-mutation broadcast)
+	FrameDelta  byte = 0xF2 // one folded reducible call of a delta-group
+	FrameAnchor byte = 0xF3 // full summarized state anchoring a delta-group
+)
+
+// minDelta is the smallest possible delta record: length word, kind,
+// one-byte version, one-byte count vector, minimal packed call, trailer.
+const minDelta = 4 + 1 + 1 + 1 + 6 + RecordTrailer
+
+// DeltaRecord is the decoded form of one delta-group record.
+type DeltaRecord struct {
+	Kind    byte
+	Version uint32      // slot version this record establishes (0 on FrameFull)
+	Counts  []uint32    // absolute per-method applied counts (summary records)
+	C       spec.Call   // the δ-mutation, folded call, or full summary
+	D       spec.DepVec // dependency record (FrameFull broadcast records)
+}
+
+// AppendUvarint appends v in canonical unsigned varint form.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// Uvarint decodes a canonical unsigned varint from the front of b. It
+// returns ErrTruncated when b ends mid-varint and ErrCorrupt for an
+// overlong encoding (a non-minimal form or more than ten bytes), so a
+// reader can tell a mid-write partial from structural garbage.
+func Uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n == 0 {
+		return 0, 0, ErrTruncated
+	}
+	if n < 0 {
+		return 0, 0, fmt.Errorf("%w: varint overflows 64 bits", ErrCorrupt)
+	}
+	if n > 1 && b[n-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: overlong varint", ErrCorrupt)
+	}
+	return v, n, nil
+}
+
+// zigzag maps signed to unsigned so small magnitudes stay short.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendU32Packed appends a []uint32 in columnar delta form: uvarint count,
+// first value, then zigzag deltas between consecutive values.
+func appendU32Packed(b []byte, vs []uint32) []byte {
+	b = AppendUvarint(b, uint64(len(vs)))
+	prev := uint32(0)
+	for _, v := range vs {
+		b = AppendUvarint(b, zigzag(int64(v)-int64(prev)))
+		prev = v
+	}
+	return b
+}
+
+// decodeU32Packed decodes a vector written by appendU32Packed.
+func decodeU32Packed(b []byte) ([]uint32, int, error) {
+	n, p, err := Uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Each value costs at least one byte; a count beyond the buffer is
+	// structural garbage, not a short read (the caller bounds b).
+	if n > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("%w: packed vector count %d exceeds buffer", ErrCorrupt, n)
+	}
+	if n == 0 {
+		return nil, p, nil
+	}
+	vs := make([]uint32, n)
+	prev := int64(0)
+	for i := range vs {
+		u, m, err := Uvarint(b[p:])
+		if err != nil {
+			return nil, 0, err
+		}
+		p += m
+		prev += unzigzag(u)
+		if prev < 0 || prev > int64(^uint32(0)) {
+			return nil, 0, fmt.Errorf("%w: packed value out of uint32 range", ErrCorrupt)
+		}
+		vs[i] = uint32(prev)
+	}
+	return vs, p, nil
+}
+
+// AppendDepVec appends a dependency record in packed columnar form.
+// Neighbouring cells of a DepVec are applied counts of adjacent processes,
+// so the zigzag deltas are near zero and the vector shrinks from 4 bytes a
+// cell to roughly one.
+func AppendDepVec(b []byte, d spec.DepVec) []byte {
+	return appendU32Packed(b, d)
+}
+
+// DecodeDepVec decodes a dependency record written by AppendDepVec,
+// returning the vector and the bytes consumed.
+func DecodeDepVec(b []byte) (spec.DepVec, int, error) {
+	vs, n, err := decodeU32Packed(b)
+	return spec.DepVec(vs), n, err
+}
+
+// appendPackedCall appends a varint-packed call and dependency record:
+// method, proc, seq, int args (zigzag), string args, packed DepVec.
+func appendPackedCall(b []byte, c spec.Call, d spec.DepVec) []byte {
+	b = AppendUvarint(b, uint64(c.Method))
+	b = AppendUvarint(b, uint64(c.Proc))
+	b = AppendUvarint(b, c.Seq)
+	b = AppendUvarint(b, uint64(len(c.Args.I)))
+	for _, v := range c.Args.I {
+		b = AppendUvarint(b, zigzag(v))
+	}
+	b = AppendUvarint(b, uint64(len(c.Args.S)))
+	for _, s := range c.Args.S {
+		b = AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return AppendDepVec(b, d)
+}
+
+// decodePackedCall decodes a call written by appendPackedCall.
+func decodePackedCall(b []byte) (spec.Call, spec.DepVec, int, error) {
+	var c spec.Call
+	p := 0
+	next := func() (uint64, error) {
+		v, n, err := Uvarint(b[p:])
+		p += n
+		return v, err
+	}
+	m, err := next()
+	if err != nil {
+		return c, nil, 0, err
+	}
+	pr, err := next()
+	if err != nil {
+		return c, nil, 0, err
+	}
+	seq, err := next()
+	if err != nil {
+		return c, nil, 0, err
+	}
+	c.Method = spec.MethodID(m)
+	c.Proc = spec.ProcID(pr)
+	c.Seq = seq
+	ni, err := next()
+	if err != nil {
+		return c, nil, 0, err
+	}
+	if ni > uint64(len(b)-p) {
+		return c, nil, 0, fmt.Errorf("%w: %d int args exceed buffer", ErrCorrupt, ni)
+	}
+	if ni > 0 {
+		c.Args.I = make([]int64, ni)
+		for i := range c.Args.I {
+			u, err := next()
+			if err != nil {
+				return c, nil, 0, err
+			}
+			c.Args.I[i] = unzigzag(u)
+		}
+	}
+	ns, err := next()
+	if err != nil {
+		return c, nil, 0, err
+	}
+	if ns > uint64(len(b)-p) {
+		return c, nil, 0, fmt.Errorf("%w: %d string args exceed buffer", ErrCorrupt, ns)
+	}
+	if ns > 0 {
+		c.Args.S = make([]string, ns)
+		for i := range c.Args.S {
+			l, err := next()
+			if err != nil {
+				return c, nil, 0, err
+			}
+			if l > uint64(len(b)-p) {
+				return c, nil, 0, fmt.Errorf("%w: string length %d exceeds buffer", ErrCorrupt, l)
+			}
+			c.Args.S[i] = string(b[p : p+int(l)])
+			p += int(l)
+		}
+	}
+	d, n, err := DecodeDepVec(b[p:])
+	if err != nil {
+		return c, nil, 0, err
+	}
+	return c, d, p + n, nil
+}
+
+// EncodeDeltaRecord frames one delta-group record:
+//
+//	u32 total | kind | uvarint version | packed counts | packed call | u32 crc | canary
+//
+// The CRC32-C covers every byte before it, length word included, exactly
+// like the legacy entry frame, so torn landings are rejected the same way.
+func EncodeDeltaRecord(r DeltaRecord) ([]byte, error) {
+	switch r.Kind {
+	case FrameFull, FrameDelta, FrameAnchor:
+	default:
+		return nil, fmt.Errorf("%w: unknown delta kind 0x%02x", ErrCorrupt, r.Kind)
+	}
+	b := make([]byte, 4, 64)
+	b = append(b, r.Kind)
+	b = AppendUvarint(b, uint64(r.Version))
+	b = appendU32Packed(b, r.Counts)
+	b = appendPackedCall(b, r.C, r.D)
+	total := len(b) + RecordTrailer
+	if total > MaxRecord {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, total)
+	}
+	binary.LittleEndian.PutUint32(b, uint32(total))
+	b = binary.LittleEndian.AppendUint32(b, Checksum(b))
+	b = append(b, Canary)
+	return b, nil
+}
+
+// DecodeDeltaRecord parses a delta record from the front of b, returning
+// the record and the total length consumed. Error classes mirror the entry
+// decoder, with the truncation distinction the ring readers need:
+//
+//   - ErrIncomplete — no record (zero length word, or fewer than 4 bytes);
+//   - ErrTruncated  — a record header promises bytes b does not hold, or
+//     the canary has not landed: a mid-write partial, retry later;
+//   - ErrTorn       — the canary landed ahead of interior bytes (CRC);
+//   - ErrCorrupt    — structural garbage inside a CRC-intact record
+//     (bad kind, overlong varint, counts past the end).
+func DecodeDeltaRecord(b []byte) (DeltaRecord, int, error) {
+	var zero DeltaRecord
+	if len(b) < 4 {
+		return zero, 0, ErrIncomplete
+	}
+	total := int(binary.LittleEndian.Uint32(b))
+	if total == 0 {
+		return zero, 0, ErrIncomplete
+	}
+	if total < minDelta || total > MaxRecord {
+		return zero, 0, fmt.Errorf("%w: bad length %d", ErrCorrupt, total)
+	}
+	if len(b) < total {
+		return zero, 0, ErrTruncated
+	}
+	if b[total-1] != Canary {
+		return zero, 0, ErrTruncated // write in flight
+	}
+	if binary.LittleEndian.Uint32(b[total-RecordTrailer:]) != Checksum(b[:total-RecordTrailer]) {
+		return zero, 0, ErrTorn
+	}
+	body := b[5 : total-RecordTrailer]
+	r := DeltaRecord{Kind: b[4]}
+	switch r.Kind {
+	case FrameFull, FrameDelta, FrameAnchor:
+	default:
+		return zero, 0, fmt.Errorf("%w: unknown delta kind 0x%02x", ErrCorrupt, r.Kind)
+	}
+	ver, p, err := Uvarint(body)
+	if err != nil {
+		return zero, 0, asCorrupt(err)
+	}
+	if ver > uint64(^uint32(0)) {
+		return zero, 0, fmt.Errorf("%w: version overflows u32", ErrCorrupt)
+	}
+	r.Version = uint32(ver)
+	counts, n, err := decodeU32Packed(body[p:])
+	if err != nil {
+		return zero, 0, asCorrupt(err)
+	}
+	p += n
+	c, d, n, err := decodePackedCall(body[p:])
+	if err != nil {
+		return zero, 0, asCorrupt(err)
+	}
+	if p+n != len(body) {
+		return zero, 0, fmt.Errorf("%w: %d trailing bytes inside record", ErrCorrupt, len(body)-p-n)
+	}
+	r.Counts = counts
+	r.C = c
+	r.D = d
+	return r, total, nil
+}
+
+// asCorrupt reclassifies a truncation hit inside a CRC-validated record
+// body: the bytes all landed and still ran out, so the writer produced
+// structural garbage, not a mid-write partial.
+func asCorrupt(err error) error {
+	if errors.Is(err, ErrTruncated) {
+		return fmt.Errorf("%w: packed field overruns record body", ErrCorrupt)
+	}
+	return err
+}

@@ -1,0 +1,256 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hamband/internal/spec"
+)
+
+func sampleDelta() DeltaRecord {
+	return DeltaRecord{
+		Kind:    FrameDelta,
+		Version: 41,
+		Counts:  []uint32{17, 3, 17},
+		C: spec.Call{
+			Method: 2, Proc: 3, Seq: 99,
+			Args: spec.Args{I: []int64{-5, 1 << 33, 0}, S: []string{"k", ""}},
+		},
+		D: spec.DepVec{9, 9, 10, 8},
+	}
+}
+
+func TestDeltaRecordRoundTrip(t *testing.T) {
+	for _, kind := range []byte{FrameFull, FrameDelta, FrameAnchor} {
+		r := sampleDelta()
+		r.Kind = kind
+		b, err := EncodeDeltaRecord(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := DecodeDeltaRecord(b)
+		if err != nil {
+			t.Fatalf("kind 0x%02x: %v", kind, err)
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, r)
+		}
+		// Self-delimiting: decoding from a longer buffer consumes only the
+		// record.
+		got2, n2, err := DecodeDeltaRecord(append(append([]byte(nil), b...), 0xEE, 0xEE))
+		if err != nil || n2 != len(b) || !reflect.DeepEqual(got2, r) {
+			t.Fatalf("decode with trailing bytes: n=%d err=%v", n2, err)
+		}
+	}
+}
+
+func TestDepVecPackingShrinks(t *testing.T) {
+	d := make(spec.DepVec, 64)
+	for i := range d {
+		d[i] = uint32(1000 + i%3)
+	}
+	packed := AppendDepVec(nil, d)
+	if len(packed) >= 4*len(d) {
+		t.Fatalf("packed DepVec is %d bytes for %d cells; want < %d", len(packed), len(d), 4*len(d))
+	}
+	got, n, err := DecodeDepVec(packed)
+	if err != nil || n != len(packed) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip mismatch: %v != %v", got, d)
+	}
+}
+
+func TestDepVecRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		d := make(spec.DepVec, r.Intn(20))
+		for i := range d {
+			d[i] = uint32(r.Int63n(1 << 32))
+		}
+		packed := AppendDepVec(nil, d)
+		got, n, err := DecodeDepVec(packed)
+		if err != nil || n != len(packed) {
+			t.Fatalf("trial %d: n=%d err=%v", trial, n, err)
+		}
+		if len(d) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Fatalf("trial %d: %v != %v", trial, got, d)
+		}
+	}
+}
+
+// TestDeltaTruncationSweep mirrors the PR 2 entry truncation sweep for the
+// packed framing: every proper prefix of a valid record must decode as a
+// retryable mid-write partial (ErrIncomplete or ErrTruncated), never as
+// success, corruption or a torn frame — a ring reader polling mid-write
+// must keep waiting, not park.
+func TestDeltaTruncationSweep(t *testing.T) {
+	b, err := EncodeDeltaRecord(sampleDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < len(b); k++ {
+		_, _, derr := DecodeDeltaRecord(b[:k])
+		if derr == nil {
+			t.Fatalf("prefix %d/%d decoded successfully", k, len(b))
+		}
+		if !errors.Is(derr, ErrIncomplete) {
+			t.Fatalf("prefix %d/%d: err = %v, want a retryable incomplete/truncated error", k, len(b), derr)
+		}
+		if k >= 4 && !errors.Is(derr, ErrTruncated) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrTruncated once the header landed", k, len(b), derr)
+		}
+	}
+}
+
+// TestEntryTruncationDistinguished pins the satellite fix on the legacy
+// decoder: a short buffer is ErrTruncated (retry), not ErrCorrupt (park),
+// and ErrTruncated still satisfies errors.Is(_, ErrIncomplete) for callers
+// that only branch on retryability.
+func TestEntryTruncationDistinguished(t *testing.T) {
+	b, err := EncodeEntry(spec.Call{Method: 1, Proc: 2, Seq: 3,
+		Args: spec.Args{I: []int64{7}, S: []string{"s"}}}, spec.DepVec{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 4; k < len(b); k++ {
+		_, _, _, derr := DecodeEntry(b[:k])
+		if !errors.Is(derr, ErrTruncated) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrTruncated", k, len(b), derr)
+		}
+		if !errors.Is(derr, ErrIncomplete) {
+			t.Fatalf("prefix %d/%d: ErrTruncated must wrap ErrIncomplete", k, len(b))
+		}
+		if errors.Is(derr, ErrCorrupt) {
+			t.Fatalf("prefix %d/%d classified corrupt; ring readers would park", k, len(b))
+		}
+	}
+}
+
+// reframe recomputes the CRC trailer of a hand-mutated record so structural
+// checks are exercised behind a valid checksum.
+func reframe(b []byte) []byte {
+	binary.LittleEndian.PutUint32(b[len(b)-RecordTrailer:], Checksum(b[:len(b)-RecordTrailer]))
+	b[len(b)-1] = Canary
+	return b
+}
+
+// TestOverlongVarintRejected checks non-canonical varints inside a
+// CRC-intact record decode as ErrCorrupt: an overlong encoding is writer
+// garbage, never a second representation of the same record.
+func TestOverlongVarintRejected(t *testing.T) {
+	good, err := EncodeDeltaRecord(sampleDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The version varint starts at offset 5 (len word + kind). Version 41
+	// encodes as one byte 0x29; rewrite it as the overlong 0xA9 0x00.
+	if good[5] != 0x29 {
+		t.Fatalf("fixture drift: version byte = 0x%02x", good[5])
+	}
+	bad := make([]byte, 0, len(good)+1)
+	bad = append(bad, good[:5]...)
+	bad = append(bad, 0xA9, 0x00)
+	bad = append(bad, good[6:len(good)-RecordTrailer]...)
+	bad = append(bad, make([]byte, RecordTrailer)...)
+	binary.LittleEndian.PutUint32(bad, uint32(len(bad)))
+	reframe(bad)
+	if _, _, derr := DecodeDeltaRecord(bad); !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("overlong varint: err = %v, want ErrCorrupt", derr)
+	}
+
+	// Direct decoder check, including the >10-byte form.
+	if _, _, derr := Uvarint([]byte{0x80, 0x00}); !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("Uvarint(0x80 0x00) = %v, want ErrCorrupt", derr)
+	}
+	over := bytes.Repeat([]byte{0x80}, 10)
+	over = append(over, 0x02)
+	if _, _, derr := Uvarint(over); !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("11-byte varint: err = %v, want ErrCorrupt", derr)
+	}
+	if _, _, derr := Uvarint([]byte{0x80}); !errors.Is(derr, ErrTruncated) {
+		t.Fatalf("mid-varint end of buffer: err = %v, want ErrTruncated", derr)
+	}
+}
+
+// TestDeltaRecordTornAndCorrupt covers the remaining error classes: flipped
+// interior bytes behind an intact canary are ErrTorn; an unknown kind byte
+// behind a valid CRC is ErrCorrupt; a field overrunning the CRC-validated
+// body is ErrCorrupt, not truncation.
+func TestDeltaRecordTornAndCorrupt(t *testing.T) {
+	good, err := EncodeDeltaRecord(sampleDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte(nil), good...)
+	torn[7] ^= 0xFF
+	if _, _, derr := DecodeDeltaRecord(torn); !errors.Is(derr, ErrTorn) {
+		t.Fatalf("interior flip: err = %v, want ErrTorn", derr)
+	}
+	badkind := append([]byte(nil), good...)
+	badkind[4] = 0x07
+	reframe(badkind)
+	if _, _, derr := DecodeDeltaRecord(badkind); !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("bad kind: err = %v, want ErrCorrupt", derr)
+	}
+	// Truncate the body but keep the frame CRC-valid: a varint that runs
+	// off the end of a *complete* record is corruption.
+	short := append([]byte(nil), good[:len(good)-RecordTrailer-3]...)
+	short = append(short, make([]byte, RecordTrailer)...)
+	binary.LittleEndian.PutUint32(short, uint32(len(short)))
+	reframe(short)
+	if _, _, derr := DecodeDeltaRecord(short); !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("overrunning field in CRC-valid record: err = %v, want ErrCorrupt", derr)
+	}
+}
+
+// FuzzDeltaEntry asserts the delta-record decoder never panics, never
+// over-reads, and classifies every failure as one of the declared error
+// values on arbitrary remote bytes.
+func FuzzDeltaEntry(f *testing.F) {
+	good, _ := EncodeDeltaRecord(sampleDelta())
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Add(good[:len(good)/2])
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, FrameDelta, 1, 2})
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	f.Add(bad)
+	anchor, _ := EncodeDeltaRecord(DeltaRecord{Kind: FrameAnchor, Version: 1,
+		C: spec.Call{Method: 1}, Counts: []uint32{1}})
+	f.Add(anchor)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeDeltaRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrCorrupt) &&
+				!errors.Is(err, ErrTorn) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("unclassified error %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A successful decode must re-encode to the identical bytes —
+		// canonical varints make the encoding bijective.
+		re, eerr := EncodeDeltaRecord(r)
+		if eerr != nil {
+			t.Fatalf("re-encode failed: %v", eerr)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", re, data[:n])
+		}
+	})
+}

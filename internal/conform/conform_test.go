@@ -17,6 +17,11 @@ import (
 // the counter (reducible), orset (irreducible conflict-free) and bankmap
 // (mixed categories, conflicting withdraw, dependent deposit) classes.
 func corpusPlans() []chaos.Plan {
+	// δ-stress arm: a generated fault plan with a tiny anchor interval, so
+	// the anchor/δ-log interleaving (re-anchors, gap fetches, torn parks)
+	// is itself replayed through the abstract semantics.
+	deltaFaulty := chaos.Generate("bankmap", 4, 60, 207)
+	deltaFaulty.AnchorInterval = 2
 	return []chaos.Plan{
 		{Class: "counter", Nodes: 4, Ops: 80, Seed: 201},
 		{Class: "orset", Nodes: 4, Ops: 80, Seed: 202},
@@ -24,6 +29,9 @@ func corpusPlans() []chaos.Plan {
 		chaos.Generate("counter", 4, 80, 204),
 		chaos.Generate("orset", 4, 60, 205),
 		chaos.Generate("bankmap", 4, 60, 206),
+		deltaFaulty,
+		// Ablation arm: the legacy full-state path must stay conforming.
+		{Class: "counter", Nodes: 4, Ops: 80, Seed: 208, FullSummaries: true},
 	}
 }
 

@@ -59,6 +59,30 @@ type Options struct {
 	FreeBatchSize  int
 	FreeBatchDelay sim.Duration
 
+	// DeltaSummaries stores summary slots as delta-groups: each reducible
+	// call ships one small δ-record into the slot's log area and the full
+	// summarized state is rewritten only every AnchorInterval calls (or
+	// when the log fills). Remote scanners fold the δ-records onto their
+	// last adopted state and fall back to a one-sided full-state fetch of
+	// the writer's own slot on a version gap or a persistently torn frame.
+	// The writer's own region always holds the current full frame, so
+	// repair, recovery and recency reads stay anchor-aware for free.
+	DeltaSummaries bool
+
+	// DeltaWire ships irreducible conflict-free broadcast records in the
+	// packed varint δ-framing (codec.FrameFull) instead of the fixed-width
+	// entry encoding; receivers accept both.
+	DeltaWire bool
+
+	// AnchorInterval is the number of δ-records between full-state anchors
+	// of a delta-group summary slot (≥ 1; 1 degenerates to full-state
+	// writes framed as anchors).
+	AnchorInterval int
+
+	// DeltaLogBytes is the tail portion of each summary slot reserved for
+	// the δ-record log; the rest holds the full-state anchor frame.
+	DeltaLogBytes int
+
 	// Leaders overrides the leader of each synchronization group
 	// (default: group index modulo cluster size).
 	Leaders []spec.ProcID
@@ -105,6 +129,10 @@ func DefaultOptions() Options {
 		QueryCost:      100 * sim.Nanosecond,
 		FreeBatchSize:  1,
 		FreeBatchDelay: 5 * sim.Microsecond,
+		DeltaSummaries: true,
+		DeltaWire:      true,
+		AnchorInterval: 32,
+		DeltaLogBytes:  4096,
 	}
 }
 
@@ -126,6 +154,20 @@ func muGroup(ns string, g int) string { return fmt.Sprintf("%sham-g%d", ns, g) }
 // per-group consensus instances, and starts every replica's pollers.
 func NewCluster(fab *rdma.Fabric, an *spec.Analysis, opts Options) *Cluster {
 	n := fab.Size()
+	// Normalize the delta-group parameters: the anchor frame needs most of
+	// the slot (summaries grow with the object), so the log is clamped to
+	// at most half the slot and delta mode is dropped when no room remains.
+	if opts.DeltaSummaries {
+		if opts.AnchorInterval < 1 {
+			opts.AnchorInterval = 1
+		}
+		if opts.DeltaLogBytes <= 0 || opts.DeltaLogBytes > opts.SumSlotSize/2 {
+			opts.DeltaLogBytes = opts.SumSlotSize / 4
+		}
+		if opts.DeltaLogBytes < 64 {
+			opts.DeltaSummaries = false
+		}
+	}
 	c := &Cluster{Fab: fab, An: an, Opts: opts}
 	c.leaders = opts.Leaders
 	if c.leaders == nil {
@@ -201,6 +243,18 @@ type sumSlot struct {
 	version uint32
 	call    spec.Call
 	counts  []uint32 // applied counts per method of the group, in group order
+
+	// Delta-group reader state (DeltaSummaries).
+	tornStreak uint8 // consecutive scans stuck on a torn frame
+	fetching   bool  // a full-state fetch of this slot is outstanding
+}
+
+// deltaWriter is the writer-side state of one delta-group summary slot:
+// where the next δ-record lands in the slot's log area and how many have
+// been written since the last full-state anchor.
+type deltaWriter struct {
+	logOff      int
+	sinceAnchor int
 }
 
 // pendingEntry is a buffered call awaiting dependency satisfaction.
@@ -232,6 +286,8 @@ type Replica struct {
 	// Per-peer summary-slot writes awaiting one chained doorbell.
 	sumOut        [][]rdma.WR
 	sumFlushArmed bool
+	// Per-group delta-writer state for the own slot (DeltaSummaries).
+	deltaW []deltaWriter
 
 	// Buffers: FIFO queues of delivered-but-unapplied calls.
 	fQueues [][]pendingEntry // per source proc
@@ -275,6 +331,9 @@ type Replica struct {
 	mApplied   *metrics.Counter   // calls applied to σ or a summary slot
 	mRejected  *metrics.Counter   // calls rejected as impermissible
 	mTorn      *metrics.Counter   // slot reads rejected by CRC validation
+	mDeltas    *metrics.Counter   // δ-records written to peer slot logs
+	mAnchors   *metrics.Counter   // full-state anchor rewrites
+	mGapFetch  *metrics.Counter   // full-state fetches after a gap or CRC park
 
 	tickers []*sim.Ticker
 
@@ -284,6 +343,9 @@ type Replica struct {
 	statRejected  uint64
 	statRecovered uint64
 	statTorn      uint64
+	statDeltas    uint64
+	statAnchors   uint64
+	statGapFetch  uint64
 }
 
 func newReplica(c *Cluster, id spec.ProcID) *Replica {
@@ -316,6 +378,9 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		r.mApplied = reg.Counter("core.applied")
 		r.mRejected = reg.Counter("core.rejected")
 		r.mTorn = reg.Counter("core.torn_rejects")
+		r.mDeltas = reg.Counter("core.delta_records")
+		r.mAnchors = reg.Counter("core.anchor_writes")
+		r.mGapFetch = reg.Counter("core.gap_fetches")
 	}
 	for range cls.SumGroups {
 		row := make([]*sumSlot, n)
@@ -325,6 +390,14 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		}
 		r.sums = append(r.sums, row)
 		r.sumVer = append(r.sumVer, make([]uint32, n))
+	}
+	if c.Opts.DeltaSummaries {
+		r.deltaW = make([]deltaWriter, len(cls.SumGroups))
+		for g := range r.deltaW {
+			// Force a full-state anchor on the first reducible call so
+			// remote readers never fold onto an unanchored identity.
+			r.deltaW[g].sinceAnchor = c.Opts.AnchorInterval
+		}
 	}
 
 	// Broadcast: carries irreducible conflict-free calls into F buffers.
@@ -394,6 +467,13 @@ func (r *Replica) Stats() (issued, applied, rejected, recovered uint64) {
 // TornRejects reports how many slot reads the CRC validation rejected —
 // each one a torn landing the seqlock-only scheme would have accepted.
 func (r *Replica) TornRejects() uint64 { return r.statTorn }
+
+// DeltaStats reports the delta-group pipeline's activity: δ-records written
+// to peer logs, full-state anchor rewrites, and full-state fetches taken to
+// recover from a version gap or a persistently torn frame.
+func (r *Replica) DeltaStats() (deltas, anchors, gapFetches uint64) {
+	return r.statDeltas, r.statAnchors, r.statGapFetch
+}
 
 // stop cancels the replica's background activity.
 func (r *Replica) stop() {

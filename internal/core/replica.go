@@ -218,7 +218,7 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Tim
 	slot.version = r.sumVer[g][int(r.id)]
 
 	payload := encodeSumSlot(r.cls.SumGroups[g].Methods, slot)
-	framed, err := codec.EncodeSlot(payload, slot.version, r.opts.SumSlotSize)
+	framed, err := codec.EncodeSlot(payload, slot.version, r.anchorCap())
 	if err != nil {
 		// The summary outgrew its slot: surface a hard configuration error.
 		panic(fmt.Sprintf("core: summary slot overflow at p%d: %v", r.id, err))
@@ -230,23 +230,31 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Tim
 	// shrinks the wire cost from the full slot (16 KB) to ~60 bytes.
 	used := framed[:codec.SlotOverhead+len(payload)]
 	// Install locally (the issuer's own slot is the authoritative backup
-	// that peers repair from on failure) ...
+	// that peers repair from on failure, and the anchor a gap fetch reads —
+	// it holds the current full frame even between remote anchors) ...
 	copy(r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()[off:], used)
-	// ... then overwrite the slot at every other node with inline,
-	// unsignaled one-sided writes (the used prefix fits the WQE). Summary
-	// and applied count travel in one slot, so no remote node can observe
-	// the count without the summary (the S-before-A ordering of rule
-	// REDUCE). The writes are queued per peer and flushed as one chained
-	// doorbell; successive versions of a slot stay ordered on the QP.
+	// ... then propagate to every other node with inline, unsignaled
+	// one-sided writes (the payload fits the WQE). Summary and applied
+	// count travel in one frame, so no remote node can observe the count
+	// without the summary (the S-before-A ordering of rule REDUCE). The
+	// writes are queued per peer and flushed as one chained doorbell;
+	// successive versions of a slot stay ordered on the QP. Under
+	// DeltaSummaries the propagated frame is usually a small δ-record into
+	// the slot's log area; every AnchorInterval calls (or when the log
+	// fills) the full frame is re-anchored instead.
 	var label string
 	if r.tracing() {
 		label = callID(c) // built only when tracing: keeps the hot path allocation-free
+	}
+	wr := rdma.WR{Region: r.opts.Namespace + sumRegionBase, Off: off, Data: used, Label: label}
+	if r.opts.DeltaSummaries {
+		wr = r.deltaWR(g, slot, c, used, off, label)
 	}
 	for p := 0; p < r.n; p++ {
 		if spec.ProcID(p) == r.id {
 			continue
 		}
-		r.sumOut[p] = append(r.sumOut[p], rdma.WR{Region: r.opts.Namespace + sumRegionBase, Off: off, Data: used, Label: label})
+		r.sumOut[p] = append(r.sumOut[p], wr)
 	}
 	r.armSumFlush()
 	r.statApplied++
@@ -290,6 +298,45 @@ func (r *Replica) flushSumWrites() {
 
 func (r *Replica) slotOffset(g int, p spec.ProcID) int {
 	return (g*r.n + int(p)) * r.opts.SumSlotSize
+}
+
+// anchorCap is the slot prefix holding the full-state anchor frame; the
+// remaining DeltaLogBytes tail is the δ-record log. Without DeltaSummaries
+// the whole slot is the anchor area.
+func (r *Replica) anchorCap() int {
+	if !r.opts.DeltaSummaries {
+		return r.opts.SumSlotSize
+	}
+	return r.opts.SumSlotSize - r.opts.DeltaLogBytes
+}
+
+// deltaWR picks the remote write for one reducible call under
+// DeltaSummaries: a δ-record appended to the slot's log area, or — every
+// AnchorInterval calls, when the log fills, or when the call does not pack —
+// a full-state re-anchor at the slot head, which also resets the log cursor
+// (peers skip the stale records left behind by version).
+func (r *Replica) deltaWR(g int, slot *sumSlot, c spec.Call, anchor []byte, off int, label string) rdma.WR {
+	dw := &r.deltaW[g]
+	region := r.opts.Namespace + sumRegionBase
+	rec, err := codec.EncodeDeltaRecord(codec.DeltaRecord{
+		Kind:    codec.FrameDelta,
+		Version: slot.version,
+		Counts:  slot.counts,
+		C:       c,
+	})
+	if err == nil && dw.sinceAnchor < r.opts.AnchorInterval &&
+		dw.logOff+len(rec) <= r.opts.DeltaLogBytes {
+		wr := rdma.WR{Region: region, Off: off + r.anchorCap() + dw.logOff, Data: rec, Label: label}
+		dw.logOff += len(rec)
+		dw.sinceAnchor++
+		r.statDeltas++
+		r.mDeltas.Inc()
+		return wr
+	}
+	dw.logOff, dw.sinceAnchor = 0, 0
+	r.statAnchors++
+	r.mAnchors.Inc()
+	return rdma.WR{Region: region, Off: off, Data: anchor, Label: label}
 }
 
 func groupIndexOf(methods []spec.MethodID, u spec.MethodID) int {
@@ -338,7 +385,9 @@ func decodeSumSlot(b []byte) (counts []uint32, call spec.Call, err error) {
 
 // scanSummaries polls the local summary region for slots remotely
 // overwritten by peers and adopts newer versions: the decoded summary call
-// replaces the cached one and the applied counts advance.
+// replaces the cached one and the applied counts advance. Under
+// DeltaSummaries each slot is an anchor frame plus a δ-record log; the scan
+// adopts a newer anchor and then folds contiguous δ-records on top.
 func (r *Replica) scanSummaries() {
 	if r.node.Suspended() || r.node.Crashed() {
 		return
@@ -350,42 +399,11 @@ func (r *Replica) scanSummaries() {
 			if spec.ProcID(p) == r.id {
 				continue // own slot is written locally
 			}
-			off := r.slotOffset(g, spec.ProcID(p))
-			payload, ver, err := codec.DecodeSlot(region[off : off+r.opts.SumSlotSize])
-			if err != nil {
-				if errors.Is(err, codec.ErrTorn) {
-					// A peer's overwrite is still landing (or its boundary
-					// words raced ahead of the interior): reject now, let
-					// the next periodic scan observe the healed slot.
-					r.statTorn++
-					r.mTorn.Inc()
-				}
-				continue
+			if r.opts.DeltaSummaries {
+				changed = r.scanDeltaSlot(g, spec.ProcID(p), slot, region) || changed
+			} else {
+				changed = r.scanFullSlot(g, spec.ProcID(p), slot, region) || changed
 			}
-			if ver <= slot.version {
-				continue
-			}
-			counts, call, derr := decodeSumSlot(payload)
-			if derr != nil {
-				continue
-			}
-			slot.version = ver
-			slot.call = call
-			methods := r.cls.SumGroups[g].Methods
-			for i, u := range methods {
-				if i < len(counts) && counts[i] > r.applied.Get(spec.ProcID(p), u) {
-					r.applied.Set(spec.ProcID(p), u, counts[i])
-					r.statApplied++
-					r.mApplied.Inc()
-				}
-			}
-			if r.tracing() {
-				r.opts.Tracer.RecordData(int(r.id), trace.Adopt, "",
-					fmt.Sprintf("adopted slot g%d/p%d v%d from scan", g, p, ver),
-					trace.SlotRecord{Group: g, Src: spec.ProcID(p), Version: ver, Sum: call,
-						Counts: append([]uint32(nil), counts...)})
-			}
-			changed = true
 		}
 	}
 	if changed {
@@ -393,6 +411,152 @@ func (r *Replica) scanSummaries() {
 		r.assertIntegrity("summary scan")
 		r.kickApply()
 	}
+}
+
+// scanFullSlot adopts one peer slot in the full-state layout, reporting
+// whether anything changed.
+func (r *Replica) scanFullSlot(g int, p spec.ProcID, slot *sumSlot, region []byte) bool {
+	off := r.slotOffset(g, p)
+	payload, ver, err := codec.DecodeSlot(region[off : off+r.opts.SumSlotSize])
+	if err != nil {
+		if errors.Is(err, codec.ErrTorn) {
+			// A peer's overwrite is still landing (or its boundary
+			// words raced ahead of the interior): reject now, let
+			// the next periodic scan observe the healed slot.
+			r.statTorn++
+			r.mTorn.Inc()
+		}
+		return false
+	}
+	if ver <= slot.version {
+		return false
+	}
+	counts, call, derr := decodeSumSlot(payload)
+	if derr != nil {
+		return false
+	}
+	r.installScan(g, p, slot, ver, call, counts, "scan")
+	return true
+}
+
+// installScan commits an adopted summary (version, call, counts) for peer
+// p's slot: the cached call flips, the applied counts advance monotonically,
+// and the adoption is traced for the conformance checker.
+func (r *Replica) installScan(g int, p spec.ProcID, slot *sumSlot, ver uint32, call spec.Call, counts []uint32, src string) {
+	slot.version = ver
+	slot.call = call
+	for i, u := range r.cls.SumGroups[g].Methods {
+		if i < len(counts) && counts[i] > r.applied.Get(p, u) {
+			r.applied.Set(p, u, counts[i])
+			r.statApplied++
+			r.mApplied.Inc()
+		}
+	}
+	if r.tracing() {
+		r.opts.Tracer.RecordData(int(r.id), trace.Adopt, "",
+			fmt.Sprintf("adopted slot g%d/p%d v%d from %s", g, p, ver, src),
+			trace.SlotRecord{Group: g, Src: p, Version: ver, Sum: call,
+				Counts: append([]uint32(nil), counts...)})
+	}
+}
+
+// tornParkScans is how many consecutive scans a delta slot may sit on a
+// torn frame with no forward progress before the reader stops waiting and
+// fetches the writer's own full state: a torn landing heals within one
+// fabric delay, so a persistent one means the writer died mid-write or the
+// local copy is damaged beyond what retrying can fix.
+const tornParkScans = 3
+
+// scanDeltaSlot adopts one peer slot in the delta-group layout. The anchor
+// frame at the slot head re-bases the state when newer; the δ-record log is
+// then walked from the front: records at or below the current version are
+// stale leftovers of earlier rounds (skipped), the record at version+1 folds
+// into the summary via the group's Summarize, and a version jumping further
+// ahead is a gap — deltas were lost (partition, dropped write), so the
+// reader schedules a one-sided fetch of the writer's authoritative full
+// state instead of folding onto the wrong base.
+func (r *Replica) scanDeltaSlot(g int, p spec.ProcID, slot *sumSlot, region []byte) bool {
+	off := r.slotOffset(g, p)
+	changed := false
+	stuck := false
+	if payload, ver, err := codec.DecodeSlot(region[off : off+r.anchorCap()]); err == nil {
+		if ver > slot.version {
+			if counts, call, derr := decodeSumSlot(payload); derr == nil {
+				r.installScan(g, p, slot, ver, call, counts, "anchor")
+				changed = true
+			}
+		}
+	} else if errors.Is(err, codec.ErrTorn) {
+		r.statTorn++
+		r.mTorn.Inc()
+		stuck = true
+	}
+	log := region[off+r.anchorCap() : off+r.opts.SumSlotSize]
+	grp := r.cls.SumGroups[g]
+	for len(log) > 0 {
+		rec, n, err := codec.DecodeDeltaRecord(log)
+		if err != nil {
+			if errors.Is(err, codec.ErrTorn) {
+				r.statTorn++
+				r.mTorn.Inc()
+				stuck = true
+			}
+			break // incomplete, torn or stale garbage: nothing beyond is usable
+		}
+		if rec.Kind != codec.FrameDelta {
+			break
+		}
+		switch {
+		case rec.Version <= slot.version:
+			// Stale leftover of an earlier log round, or already folded.
+		case rec.Version == slot.version+1:
+			folded := grp.Summarize(slot.call, rec.C)
+			r.installScan(g, p, slot, rec.Version, folded, rec.Counts, "delta")
+			changed = true
+		default:
+			// Version gap: the missing δ-records will never reappear in
+			// this log, so give up on folding and fetch the full state.
+			r.fetchSlot(g, p, slot)
+			stuck = false // the fetch is the recovery; don't double up
+			log = nil
+			continue
+		}
+		log = log[n:]
+	}
+	if changed {
+		slot.tornStreak = 0
+	} else if stuck {
+		if slot.tornStreak++; slot.tornStreak >= tornParkScans {
+			slot.tornStreak = 0
+			r.fetchSlot(g, p, slot)
+		}
+	}
+	return changed
+}
+
+// fetchSlot recovers a delta slot that cannot make forward progress (a
+// version gap or a persistently torn frame) with a one-sided read of the
+// writer's own copy, whose anchor area always holds the current full frame.
+// At most one fetch per slot is outstanding.
+func (r *Replica) fetchSlot(g int, p spec.ProcID, slot *sumSlot) {
+	if slot.fetching || r.detectorSuspects(p) {
+		return
+	}
+	slot.fetching = true
+	r.statGapFetch++
+	r.mGapFetch.Inc()
+	r.readSlotValidated(rdma.NodeID(p), g, p, func(data []byte) {
+		slot.fetching = false
+		if data != nil {
+			r.adoptSlot(g, p, data)
+		}
+	})
+}
+
+// detectorSuspects reports whether peer p is currently suspected: repair
+// already targets suspects, so gap fetches skip them.
+func (r *Replica) detectorSuspects(p spec.ProcID) bool {
+	return r.detector != nil && r.detector.Suspected(rdma.NodeID(p))
 }
 
 // --- irreducible conflict-free calls (rules FREE / FREE-APP) -------------
@@ -425,7 +589,7 @@ func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, submitAt sim.Time,
 		if r.tracing() {
 			r.traceData(trace.FreeSend, c, "applied locally, broadcast to F buffers", trace.CallRecord{C: c, D: d})
 		}
-		entry, err := codec.EncodeEntry(c, d)
+		entry, err := r.encodeFree(c, d)
 		if err == nil {
 			var label string
 			if r.tracing() {
@@ -509,16 +673,40 @@ func (r *Replica) flushFree() error {
 	return r.bc.BroadcastLabeled(label, batch, nil)
 }
 
+// encodeFree serializes one broadcast entry: the packed varint δ-framing
+// (codec.FrameFull) under DeltaWire, the fixed-width entry otherwise. Both
+// are self-delimiting and receivers accept either, so the wire format can
+// differ per node during a rollout.
+func (r *Replica) encodeFree(c spec.Call, d spec.DepVec) ([]byte, error) {
+	if !r.opts.DeltaWire {
+		return codec.EncodeEntry(c, d)
+	}
+	return codec.EncodeDeltaRecord(codec.DeltaRecord{Kind: codec.FrameFull, C: c, D: d})
+}
+
 // onFreeDelivery receives a broadcast batch of (c, D) pairs into the F
 // buffer of its source and tries to apply. Entries are self-delimiting, so
-// single-entry and batched records share one decode loop.
+// single-entry and batched records share one decode loop; the δ-framing's
+// kind byte sits where a legacy entry's method low byte would (≥ 0xF0,
+// unreachable for real method ids), so the two formats interleave freely.
 func (r *Replica) onFreeDelivery(src rdma.NodeID, _ uint64, payload []byte) {
 	for len(payload) > 0 {
-		c, d, n, err := codec.DecodeEntry(payload)
-		if err != nil {
-			return
+		var e pendingEntry
+		var n int
+		if len(payload) > 4 && payload[4] >= codec.FrameFull {
+			rec, m, err := codec.DecodeDeltaRecord(payload)
+			if err != nil {
+				return
+			}
+			e, n = pendingEntry{c: rec.C, d: rec.D}, m
+		} else {
+			c, d, m, err := codec.DecodeEntry(payload)
+			if err != nil {
+				return
+			}
+			e, n = pendingEntry{c: c, d: d}, m
 		}
-		r.fQueues[src] = append(r.fQueues[src], pendingEntry{c: c, d: d})
+		r.fQueues[src] = append(r.fQueues[src], e)
 		payload = payload[n:]
 	}
 	r.noteQueueDepths()
@@ -1031,7 +1219,11 @@ func (r *Replica) adoptSlot(g int, p spec.ProcID, data []byte) bool {
 	if err != nil {
 		return false
 	}
-	copy(r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()[r.slotOffset(g, p):], data)
+	// Install only the frame's used prefix: under DeltaSummaries the rest
+	// of the slot is the δ-record log, and overwriting it with the bytes of
+	// a read issued one RTT ago would clobber records that landed since.
+	copy(r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()[r.slotOffset(g, p):],
+		data[:codec.SlotOverhead+len(payload)])
 	slot.version = ver
 	slot.call = call
 	for i, u := range r.cls.SumGroups[g].Methods {

@@ -1,0 +1,173 @@
+// δ-state views of the replicated data types (Almeida et al., "Approaches
+// to Conflict-free Replicated Data Types"): instead of shipping the full
+// summarized state on every mutation, a replica disseminates the mutation
+// itself as a δ and periodically anchors the full state. For Hamband's
+// reducible classes the δ of one call is the call: the summarization group's
+// Summarize is the join, so folding δ_v onto the state at version v-1 equals
+// replaying the call — the law the property tests in property_test.go pin.
+package crdt
+
+import (
+	"fmt"
+
+	"hamband/internal/spec"
+)
+
+// DeltaCRDT is the δ-state interface of a versioned replicated object.
+// Every mutation advances the version by one; Delta returns the δ-group
+// covering the mutations after a version, ApplyDelta folds a contiguous
+// δ-group into a mirror, and FullState is the anchor a mirror falls back to
+// when the retained window no longer covers its version (a gap).
+type DeltaCRDT interface {
+	// Version is the number of mutations folded so far.
+	Version() uint64
+	// Mutate folds one call, advancing the version.
+	Mutate(c spec.Call)
+	// Delta returns the δ-group covering (since, Version()]; ok is false
+	// when since predates the retained window and the caller must fall
+	// back to FullState.
+	Delta(since uint64) (ds []spec.Call, ok bool)
+	// ApplyDelta folds a δ-group produced by Delta(from) on a replica at
+	// version from; it errors on a version gap instead of corrupting the
+	// mirror.
+	ApplyDelta(from uint64, ds []spec.Call) error
+	// FullState returns calls that rebuild the state from scratch, and the
+	// version they stand for.
+	FullState() ([]spec.Call, uint64)
+}
+
+// SummaryDelta is the δ-state view of one summarization group: the full
+// state is a single summarized call (what a summary slot carries), and a
+// δ-group composes via the group's Summarize — Fold turns any contiguous
+// run into one call regardless of how many mutations it covers. It retains
+// a bounded window of recent deltas; Delta for older versions reports a gap.
+type SummaryDelta struct {
+	g      spec.SumGroup
+	full   spec.Call   // summary of every mutation so far
+	ver    uint64      // mutations folded
+	window []spec.Call // per-version deltas for (base, ver]
+	base   uint64      // version before window[0]
+	cap    int
+}
+
+// DefaultDeltaWindow bounds the retained per-version deltas; it should be
+// at least the anchor interval so a mirror one anchor behind never gaps.
+const DefaultDeltaWindow = 64
+
+// NewSummaryDelta builds the δ-view of group g retaining window deltas
+// (<= 0 selects DefaultDeltaWindow).
+func NewSummaryDelta(g spec.SumGroup, window int) *SummaryDelta {
+	if window <= 0 {
+		window = DefaultDeltaWindow
+	}
+	return &SummaryDelta{g: g, full: g.Identity(), cap: window}
+}
+
+// Version returns the number of mutations folded.
+func (s *SummaryDelta) Version() uint64 { return s.ver }
+
+// Mutate folds one call of the group into the full summary and the window.
+func (s *SummaryDelta) Mutate(c spec.Call) {
+	s.full = s.g.Summarize(s.full, c)
+	s.ver++
+	if len(s.window) == s.cap {
+		copy(s.window, s.window[1:])
+		s.window = s.window[:s.cap-1]
+		s.base++
+	}
+	s.window = append(s.window, s.g.Summarize(s.g.Identity(), c))
+}
+
+// Delta returns the per-version deltas after since, one call per mutation,
+// so the receiver's version advances in lockstep with the writer's. A
+// reader free of version bookkeeping may fold them into one call with
+// Fold — Summarize associativity (property-tested) makes that equivalent.
+func (s *SummaryDelta) Delta(since uint64) ([]spec.Call, bool) {
+	if since > s.ver || since < s.base {
+		return nil, false
+	}
+	return append([]spec.Call(nil), s.window[since-s.base:]...), true
+}
+
+// Fold composes a δ-group into one summarized call — the single-record
+// form a FrameDelta ships on the wire.
+func (s *SummaryDelta) Fold(ds []spec.Call) spec.Call {
+	d := s.g.Identity()
+	for _, c := range ds {
+		d = s.g.Summarize(d, c)
+	}
+	return d
+}
+
+// ApplyDelta folds a δ-group produced at version from.
+func (s *SummaryDelta) ApplyDelta(from uint64, ds []spec.Call) error {
+	if from != s.ver {
+		return fmt.Errorf("crdt: delta gap: have v%d, delta folds onto v%d", s.ver, from)
+	}
+	for _, d := range ds {
+		s.full = s.g.Summarize(s.full, d)
+		s.ver++
+	}
+	return nil
+}
+
+// FullState returns the single summarized call standing for every mutation.
+func (s *SummaryDelta) FullState() ([]spec.Call, uint64) {
+	return []spec.Call{s.full}, s.ver
+}
+
+// LogDelta is the δ-state view of an op-based (irreducible conflict-free)
+// class such as the OR-set or the cart: there is no Summarize join, so a
+// δ-group is the mutations themselves and the full state is the whole
+// retained log. It exists to give every class the DeltaCRDT interface —
+// the runtime's broadcast path already ships these calls individually (each
+// broadcast record is a δ-mutation); LogDelta is the bookkeeping mirror.
+type LogDelta struct {
+	log []spec.Call
+}
+
+// NewLogDelta builds an op-log δ-view.
+func NewLogDelta() *LogDelta { return &LogDelta{} }
+
+// Version returns the number of mutations logged.
+func (l *LogDelta) Version() uint64 { return uint64(len(l.log)) }
+
+// Mutate appends one call.
+func (l *LogDelta) Mutate(c spec.Call) { l.log = append(l.log, c) }
+
+// Delta returns the calls after since.
+func (l *LogDelta) Delta(since uint64) ([]spec.Call, bool) {
+	if since > uint64(len(l.log)) {
+		return nil, false
+	}
+	return append([]spec.Call(nil), l.log[since:]...), true
+}
+
+// ApplyDelta appends a contiguous δ-group.
+func (l *LogDelta) ApplyDelta(from uint64, ds []spec.Call) error {
+	if from != uint64(len(l.log)) {
+		return fmt.Errorf("crdt: delta gap: have v%d, delta folds onto v%d", len(l.log), from)
+	}
+	l.log = append(l.log, ds...)
+	return nil
+}
+
+// FullState returns the whole log.
+func (l *LogDelta) FullState() ([]spec.Call, uint64) {
+	return append([]spec.Call(nil), l.log...), uint64(len(l.log))
+}
+
+// DeltasFor returns the δ-state views of a class: one SummaryDelta per
+// summarization group (counter, pncounter, gset, lww, lwwmap, bankmap's
+// open, …) or, for classes with none (orset, cart), a single LogDelta over
+// the update stream.
+func DeltasFor(cls *spec.Class, window int) []DeltaCRDT {
+	if len(cls.SumGroups) == 0 {
+		return []DeltaCRDT{NewLogDelta()}
+	}
+	out := make([]DeltaCRDT, len(cls.SumGroups))
+	for i, g := range cls.SumGroups {
+		out[i] = NewSummaryDelta(g, window)
+	}
+	return out
+}
