@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet staticcheck race check-race bench bench-snapshot bench-wire benchstat fuzz chaos conform cover check
+.PHONY: all build test vet staticcheck race check-race bench bench-snapshot bench-wire bench-shard benchstat fuzz chaos conform store cover check
 
 all: check
 
@@ -38,7 +38,7 @@ check-race: build
 # and dumped as replayable JSON next to the test binary's working dir
 # (see `hambench -exp chaos -plan-json`).
 chaos:
-	$(GO) test -run 'TestCorpus|TestRandomizedPlans' -count=1 -v ./internal/chaos
+	$(GO) test -run 'TestCorpus|TestRandomizedPlans|TestShardMixConverges|TestShardFaultIsolation' -count=1 -v ./internal/chaos
 
 # conform runs the refinement conformance gate: the fixed-seed corpus
 # (fault-free and fault-plan workloads across the counter/orset/bankmap
@@ -48,6 +48,13 @@ chaos:
 conform:
 	$(GO) test -run 'TestConformCorpus|TestMutated' -count=1 -v ./internal/conform
 
+# store runs the sharded multi-object store gate: exact footprint
+# accounting against the per-node arena, typed budget errors, freed-memory
+# reuse under concurrent open/close, cross-shard doorbell coalescing and
+# shard-tagged trace decomposition.
+store:
+	$(GO) test -count=1 -v ./internal/store
+
 # cover prints per-package statement coverage so test gaps stay visible.
 cover:
 	$(GO) test -cover ./... | grep -v 'no test files'
@@ -55,14 +62,14 @@ cover:
 # check is the full pre-merge gate: tier-1 build + tests, static analysis,
 # the race detector, a short fuzz budget over the wire-format parsers, the
 # chaos plan corpus and the refinement conformance corpus.
-check: build vet staticcheck test race fuzz chaos conform
+check: build vet staticcheck test race fuzz chaos conform store
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics ./internal/ring
 
 # bench-snapshot regenerates the canonical benchmark snapshot committed at
 # the repo root (deterministic: same ops+seed give identical bytes).
-SNAPSHOT ?= BENCH_PR7.json
+SNAPSHOT ?= BENCH_PR8.json
 bench-snapshot:
 	$(GO) run ./cmd/hambench -exp snapshot -snapshot-out $(SNAPSHOT)
 
@@ -71,11 +78,18 @@ bench-snapshot:
 bench-wire:
 	$(GO) run ./cmd/hambench -exp wire
 
+# bench-shard runs the sharded-store experiment: object-count and Zipfian
+# skew sweeps with hot-key reporting, cross-shard chained-WR counts and the
+# shared-vs-private doorbell-coalescer ablation.
+SHARDS ?= 16
+bench-shard:
+	$(GO) run ./cmd/hambench -exp shard -shards $(SHARDS)
+
 # benchstat compares two snapshots: make benchstat OLD=a.json NEW=b.json.
 # MAXREGRESS, when nonzero, fails the target if any fig8 point's throughput
 # drops by more than that percentage — the CI regression gate.
-OLD ?= BENCH_PR5.json
-NEW ?= BENCH_PR7.json
+OLD ?= BENCH_PR7.json
+NEW ?= BENCH_PR8.json
 MAXREGRESS ?= 0
 benchstat:
 	$(GO) run ./cmd/hambench -exp benchstat -old $(OLD) -new $(NEW) -max-regress $(MAXREGRESS)

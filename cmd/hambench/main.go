@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|latency|chaos|conform]
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|latency|shard|chaos|conform]
 //	         [-ops N] [-seed N] [-metrics-json FILE] [-chrome-trace FILE]
-//	         [-latency-json FILE]
+//	         [-latency-json FILE] [-shards N] [-shard-json FILE]
 //	         [-plans N] [-plan-json FILE] [-chaos-dir DIR]
 //	         [-conform-seeds N] [-conform-dump DIR]
+//
+// The shard experiment drives a keyed counter workload against the sharded
+// multi-object store: object-count and Zipfian-skew sweeps with per-shard
+// (hot-key) throughput reporting, cross-shard chained-WR counts on the
+// shared per-peer QPs, and the shared-vs-private doorbell-coalescer
+// ablation. -shards sets the largest object count; -shard-json dumps every
+// measured point.
 //
 // The chaos experiment explores -plans randomized, seed-reproducible fault
 // plans (node suspensions, link partitions, latency spikes, torn-write
@@ -60,7 +67,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, wire, snapshot, benchstat, chaos, conform")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, wire, shard, snapshot, benchstat, chaos, conform")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
@@ -76,6 +83,8 @@ func main() {
 	chaosDir := flag.String("chaos-dir", ".", "chaos: directory for failing-plan JSON dumps")
 	conformSeeds := flag.Int("conform-seeds", 12, "conform: number of seeded workloads to check")
 	conformDump := flag.String("conform-dump", ".", "conform: directory for shrunk counterexample dumps")
+	shards := flag.Int("shards", 16, "shard: objects hosted by the sharded store at the largest sweep point")
+	shardJSON := flag.String("shard-json", "", "shard: write every measured point as JSON to FILE")
 	flag.Parse()
 
 	cfg := bench.Config{Ops: *ops, Seed: *seed, Out: os.Stdout}
@@ -115,6 +124,8 @@ func main() {
 		cfg.Latency(fileWriter(*latencyJSON))
 	case "wire":
 		cfg.Wire(fileWriter(*wireJSON))
+	case "shard":
+		cfg.Shard(*shards, *shardJSON)
 	case "analysis":
 		printAnalyses()
 	case "chaos":

@@ -97,6 +97,21 @@ func (cfg Config) Snapshot() Snapshot {
 			add("doorbell/"+v.name, Hamband.String(), 4, d.ratio, r)
 		}
 	}
+	for _, skew := range []float64{0, 1.5} {
+		r := cfg.shardPoint(16, 4, cfg.Ops, skew, false)
+		name := "shard/uniform"
+		if skew > 0 {
+			name = fmt.Sprintf("shard/zipf%.1f", skew)
+		}
+		s.Points = append(s.Points, SnapPoint{
+			Experiment:  name,
+			System:      Hamband.String(),
+			Class:       "counter-x16",
+			Nodes:       4,
+			UpdateRatio: 1.0,
+			OpsPerUs:    r.OpsPerUs,
+		})
+	}
 	wireOps := cfg.Ops / 4
 	if wireOps < 500 {
 		wireOps = 500

@@ -114,6 +114,17 @@ func Generate(class string, nodes, ops int, seed int64) Plan {
 	return p
 }
 
+// GenerateSharded builds a randomized fault plan that runs against a
+// sharded store: the same seed-deterministic fault schedule Generate
+// emits, with the workload spread over shards same-class objects. Kept
+// as a wrapper (rather than a Generate knob) so the single-object
+// corpus hashes are untouched.
+func GenerateSharded(class string, nodes, ops int, seed int64, shards int) Plan {
+	p := Generate(class, nodes, ops, seed)
+	p.ShardMix = shards
+	return p
+}
+
 // Shrink greedily minimizes a failing plan: it repeatedly tries dropping
 // one event at a time, keeping any drop after which failing still reports
 // true, until no single event can be removed. failing is typically a

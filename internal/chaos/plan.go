@@ -121,6 +121,21 @@ type Plan struct {
 	// ignored under FullSummaries.
 	AnchorInterval int `json:"anchor_interval,omitempty"`
 
+	// ShardMix, when ≥ 2, runs the plan against a sharded multi-object
+	// store instead of a single cluster: the node set hosts that many
+	// same-class shards behind a keyed directory, the workload spreads
+	// across them, and every probe is evaluated per shard. Faults still
+	// target nodes and links (a node hosts every shard), so the run
+	// exercises cross-shard isolation: a fault stalling one shard must
+	// not stop its siblings from acking and converging.
+	ShardMix int `json:"shard_mix,omitempty"`
+
+	// CrossWireShards installs the store's cross-wiring mutation control:
+	// broadcast deliveries of two shards are swapped at one node. A
+	// correct checker must catch the resulting divergence — this is a
+	// negative control, never part of a passing corpus plan.
+	CrossWireShards bool `json:"cross_wire_shards,omitempty"`
+
 	Events []Event `json:"events"`
 }
 
@@ -134,6 +149,12 @@ func (p Plan) Validate() error {
 	}
 	if p.Ops < 0 {
 		return fmt.Errorf("chaos: ops = %d", p.Ops)
+	}
+	if p.ShardMix != 0 && (p.ShardMix < 2 || p.ShardMix > 32) {
+		return fmt.Errorf("chaos: shard_mix = %d, want 0 or 2..32", p.ShardMix)
+	}
+	if p.CrossWireShards && p.ShardMix < 2 {
+		return fmt.Errorf("chaos: cross_wire_shards needs shard_mix >= 2")
 	}
 	node := func(i int) bool { return i >= 0 && i < p.Nodes }
 	for i, e := range p.Events {

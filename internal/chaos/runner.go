@@ -98,6 +98,10 @@ type Verdict struct {
 	Metrics *metrics.Registry // non-nil when Options.EnableMetrics
 	Trace   *trace.Tracer     // non-nil when Options.TraceLimit or FlightWindow > 0
 	Correct []bool            // per node: eligible for end-state probes (never crashed, not still down)
+
+	// ShardAcked is the per-shard acked-update count on ShardMix runs
+	// (nil otherwise). A healthy sharded run acks on every shard.
+	ShardAcked []int
 }
 
 // Summary renders a one-line verdict for exploration logs.
@@ -138,6 +142,9 @@ type runner struct {
 func Run(p Plan, opts Options) (*Verdict, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if p.ShardMix >= 2 {
+		return runSharded(p, opts)
 	}
 	opts = opts.withDefaults()
 
@@ -584,8 +591,10 @@ const (
 // fold mixes vals into the verdict's FNV-1a trace hash. Every nemesis
 // action and call completion folds (with its virtual timestamp), so two
 // runs with the same hash took the same schedule through the same trace.
-func (r *runner) fold(vals ...int64) {
-	h := r.v.TraceHash
+func (r *runner) fold(vals ...int64) { r.v.fold(vals...) }
+
+func (v *Verdict) fold(vals ...int64) {
+	h := v.TraceHash
 	if h == 0 {
 		h = fnvOffset
 	}
@@ -597,7 +606,7 @@ func (r *runner) fold(vals ...int64) {
 			u >>= 8
 		}
 	}
-	r.v.TraceHash = h
+	v.TraceHash = h
 }
 
 func kindIndex(k Kind) int {

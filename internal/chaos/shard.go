@@ -1,0 +1,484 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hamband/internal/core"
+	"hamband/internal/heartbeat"
+	"hamband/internal/metrics"
+	"hamband/internal/rdma"
+	"hamband/internal/sim"
+	"hamband/internal/spec"
+	"hamband/internal/store"
+	"hamband/internal/trace"
+)
+
+// shardRunner executes a ShardMix plan: one node set hosting ShardMix
+// same-class shards behind a keyed store, with the workload spread across
+// shards and every correctness probe evaluated per shard. Node and link
+// faults hit the shared substrate (a node hosts every shard), so the run's
+// central question is isolation: does a fault that stalls one shard leave
+// its siblings acking, draining and converging?
+type shardRunner struct {
+	plan Plan
+	opts Options
+	cls  *spec.Class
+	an   *spec.Analysis
+	eng  *sim.Engine
+	fab  *rdma.Fabric
+	st   *store.Store
+	keys []string
+	rng  *rand.Rand
+
+	down    []bool
+	crashed []bool
+
+	acked   [][][]uint32 // acked[shard][p][u]
+	pending [][]int      // pending[shard][origin]
+	batches int
+	v       *Verdict
+
+	cEvents, cCalls, cViolations *metrics.Counter
+}
+
+// runSharded is Run's ShardMix ≥ 2 path.
+func runSharded(p Plan, opts Options) (*Verdict, error) {
+	opts = opts.withDefaults()
+
+	cls := classRegistry[p.Class]()
+	an := spec.MustAnalyze(cls)
+	eng := sim.NewEngine(p.Seed)
+	fab := rdma.NewFabric(eng, p.Nodes, rdma.DefaultLatency())
+
+	sopts := store.DefaultOptions()
+	sopts.Core.Heartbeat = heartbeat.Config{
+		BeatPeriod:     5 * sim.Microsecond,
+		CheckPeriod:    10 * sim.Microsecond,
+		Threshold:      3,
+		TrustThreshold: 2,
+	}
+	sopts.Core.CheckIntegrity = false
+	sopts.Core.DisableFailureHandling = p.DisableRecovery
+	sopts.Core.MutateApplyOrder = p.MutateApplyOrder
+	if p.FullSummaries {
+		sopts.Core.DeltaSummaries = false
+		sopts.Core.DeltaWire = false
+	}
+	if p.AnchorInterval > 0 {
+		sopts.Core.AnchorInterval = p.AnchorInterval
+	}
+	sopts.CrossWire = p.CrossWireShards
+	// Exact admission: the budget is sized to the plan's shard count, so a
+	// footprint-accounting regression surfaces here as an Open error.
+	sopts.MemoryBudget = p.ShardMix * store.Footprint(an, p.Nodes, sopts.Core)
+
+	r := &shardRunner{
+		plan: p, opts: opts, cls: cls, an: an, eng: eng, fab: fab,
+		rng:     rand.New(rand.NewSource(p.Seed ^ 0x5DEECE66D)),
+		down:    make([]bool, p.Nodes),
+		crashed: make([]bool, p.Nodes),
+		v:       &Verdict{Plan: p},
+	}
+	if opts.EnableMetrics {
+		reg := metrics.New(eng)
+		sopts.Core.Metrics = reg
+		fab.EnableMetrics(reg)
+		r.v.Metrics = reg
+		r.cEvents = reg.Counter("chaos.events")
+		r.cCalls = reg.Counter("chaos.calls")
+		r.cViolations = reg.Counter("chaos.violations")
+	}
+	if opts.FlightWindow > 0 {
+		tr := trace.NewFlightRecorder(eng, opts.FlightWindow)
+		sopts.Tracer = tr
+		r.v.Trace = tr
+	} else if opts.TraceLimit > 0 {
+		tr := trace.New(eng, opts.TraceLimit)
+		sopts.Tracer = tr
+		r.v.Trace = tr
+	}
+
+	r.st = store.New(fab, sopts)
+	for i := 0; i < p.ShardMix; i++ {
+		key := fmt.Sprintf("s%02d", i)
+		if _, err := r.st.Open(key, an, store.ShardOptions{}); err != nil {
+			return nil, fmt.Errorf("chaos: opening shard %s: %w", key, err)
+		}
+		r.keys = append(r.keys, key)
+		r.acked = append(r.acked, makeAckMatrix(p.Nodes, len(cls.Methods)))
+		r.pending = append(r.pending, make([]int, p.Nodes))
+	}
+	r.run()
+	return r.v, nil
+}
+
+func makeAckMatrix(nodes, methods int) [][]uint32 {
+	m := make([][]uint32, nodes)
+	for i := range m {
+		m[i] = make([]uint32, methods)
+	}
+	return m
+}
+
+func (r *shardRunner) run() {
+	for _, e := range r.plan.Events {
+		e := e
+		r.eng.At(e.At, func() { r.apply(e) })
+	}
+	issueTick := r.eng.NewTicker(r.opts.IssuePeriod, r.issueBatch)
+	probeTick := r.eng.NewTicker(r.opts.ProbePeriod, func() { r.probeIntegrity(false) })
+
+	horizon := sim.Time(sim.Duration(r.plan.Ops/r.opts.BatchSize+2) * r.opts.IssuePeriod)
+	for _, e := range r.plan.Events {
+		if e.At >= horizon {
+			horizon = e.At + 1
+		}
+	}
+	r.eng.RunUntil(horizon)
+	issueTick.Cancel()
+
+	if !r.plan.NoFinalHeal {
+		r.healAll()
+	}
+	r.v.Drained = r.drain()
+	probeTick.Cancel()
+
+	// Per-shard final probes: shards that drained must converge and hold
+	// exactly-once; shards that did not are quiescence violations naming
+	// the shard, so isolation failures read directly off the verdict.
+	stalled := r.stalledShards()
+	if len(stalled) > 0 {
+		r.violate("quiescence", fmt.Sprintf("shards [%s] not quiescent after %v drain: in-flight calls or incomplete replication from correct origins",
+			strings.Join(stalled, " "), r.opts.DrainDeadline))
+	}
+	for si := range r.keys {
+		if r.shardQuiescent(si) {
+			r.probeConvergence(si)
+			r.probeExactlyOnce(si)
+		}
+	}
+	r.probeIntegrity(true)
+
+	r.v.Makespan = sim.Duration(r.eng.Now())
+	r.v.Passed = len(r.v.Violations) == 0
+	r.v.Correct = make([]bool, r.plan.Nodes)
+	for n := 0; n < r.plan.Nodes; n++ {
+		r.v.Correct[n] = r.correct(n)
+	}
+	r.v.ShardAcked = make([]int, len(r.keys))
+	for si, m := range r.acked {
+		for _, row := range m {
+			for _, c := range row {
+				r.v.ShardAcked[si] += int(c)
+			}
+		}
+	}
+	r.v.fold(int64(r.eng.Now()), int64(r.v.Issued), int64(r.v.Acked), int64(len(r.v.Violations)))
+	for _, a := range r.v.ShardAcked {
+		r.v.fold(int64(a))
+	}
+	r.st.Stop()
+}
+
+func (r *shardRunner) apply(e Event) {
+	r.cEvents.Inc()
+	switch e.Kind {
+	case KindSuspend:
+		r.suspend(e.Node)
+	case KindResume:
+		r.resume(e.Node)
+	case KindCrash:
+		if !r.crashed[e.Node] {
+			r.crashed[e.Node] = true
+			r.fab.Node(rdma.NodeID(e.Node)).Crash()
+		}
+	case KindPartition:
+		r.fab.Partition(rdma.NodeID(e.A), rdma.NodeID(e.B))
+	case KindHeal:
+		r.fab.Heal(rdma.NodeID(e.A), rdma.NodeID(e.B))
+	case KindDelay:
+		r.fab.SetDelay(rdma.NodeID(e.A), rdma.NodeID(e.B), e.Extra, e.Jitter)
+	case KindTorn:
+		tear := e.Extra
+		if tear <= 0 {
+			tear = DefaultTear
+		}
+		r.fab.SetTorn(rdma.NodeID(e.A), rdma.NodeID(e.B), tear, e.Jitter)
+	case KindTornHeal:
+		r.fab.SetTorn(rdma.NodeID(e.A), rdma.NodeID(e.B), 0, 0)
+	case KindLeaderKill:
+		r.leaderKill(e.Group)
+	}
+	r.v.fold(int64(r.eng.Now()), int64(kindIndex(e.Kind)), int64(e.Node), int64(e.A), int64(e.B))
+}
+
+// suspend stops node n's process — every shard it hosts at once; the
+// shared failure domain's beater is the node's single heartbeat thread.
+func (r *shardRunner) suspend(n int) {
+	if r.down[n] || r.crashed[n] {
+		return
+	}
+	r.down[n] = true
+	if fd := r.st.FailureDomain(); fd != nil {
+		fd.Beater(n).Suspend()
+	}
+	r.fab.Node(rdma.NodeID(n)).Suspend()
+}
+
+func (r *shardRunner) resume(n int) {
+	if !r.down[n] || r.crashed[n] {
+		return
+	}
+	r.down[n] = false
+	if fd := r.st.FailureDomain(); fd != nil {
+		fd.Beater(n).Resume()
+	}
+	r.fab.Node(rdma.NodeID(n)).Resume()
+}
+
+// leaderKill routes group g to shard g mod ShardMix and suspends that
+// shard's current leader — a fault aimed at exactly one shard's consensus,
+// the probe for cross-shard stall isolation.
+func (r *shardRunner) leaderKill(g int) {
+	obs := r.firstLive()
+	if obs < 0 {
+		return
+	}
+	victim := obs
+	if len(r.an.SyncGroups) > 0 {
+		sh := r.st.Shard(r.keys[g%len(r.keys)])
+		victim = int(sh.Cluster.Leader(spec.ProcID(obs), (g/len(r.keys))%len(r.an.SyncGroups)))
+	}
+	r.suspend(victim)
+}
+
+func (r *shardRunner) firstLive() int {
+	for i := 0; i < r.plan.Nodes; i++ {
+		if !r.down[i] && !r.crashed[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *shardRunner) healAll() {
+	for i := 0; i < r.plan.Nodes; i++ {
+		r.resume(i)
+	}
+	r.fab.HealAll()
+	r.v.fold(int64(r.eng.Now()), -1)
+}
+
+// issueBatch spreads BatchSize updates across random shards and random
+// live origins.
+func (r *shardRunner) issueBatch() {
+	if r.v.Issued >= r.plan.Ops {
+		return
+	}
+	r.batches++
+	if r.opts.QueryMix > 0 && r.batches%r.opts.QueryMix == 0 {
+		r.issueQuery()
+	}
+	ups := r.cls.UpdateMethods()
+	for i := 0; i < r.opts.BatchSize && r.v.Issued < r.plan.Ops; i++ {
+		live := r.liveNodes()
+		if len(live) == 0 {
+			return
+		}
+		si := r.rng.Intn(len(r.keys))
+		origin := spec.ProcID(live[r.rng.Intn(len(live))])
+		u := ups[r.rng.Intn(len(ups))]
+		call := r.cls.Gen.Call(r.rng, u)
+		fixTags(&call, origin, uint64(r.v.Issued)+1)
+		r.invoke(si, origin, u, call.Args)
+	}
+}
+
+func (r *shardRunner) liveNodes() []int {
+	var live []int
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.down[n] && !r.crashed[n] {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+func (r *shardRunner) invoke(si int, origin spec.ProcID, u spec.MethodID, args spec.Args) {
+	r.v.Issued++
+	r.cCalls.Inc()
+	r.pending[si][origin]++
+	r.st.Invoke(r.keys[si], origin, u, args, func(_ any, err error) {
+		r.pending[si][origin]--
+		code := int64(0)
+		switch {
+		case err == nil:
+			r.acked[si][origin][u]++
+			r.v.Acked++
+		case errors.Is(err, core.ErrImpermissible):
+			r.v.Rejected++
+			code = 1
+		case errors.Is(err, core.ErrDown):
+			code = 2
+		default:
+			code = 3
+			r.violate("invoke-error", fmt.Sprintf("%s p%d %s: %v", r.keys[si], origin, r.cls.Methods[u].Name, err))
+		}
+		r.v.fold(int64(r.eng.Now()), int64(si), int64(origin), int64(u), code)
+	})
+}
+
+func (r *shardRunner) issueQuery() {
+	qs := r.cls.QueryMethods()
+	if len(qs) == 0 {
+		return
+	}
+	live := r.liveNodes()
+	if len(live) == 0 {
+		return
+	}
+	si := r.rng.Intn(len(r.keys))
+	origin := spec.ProcID(live[r.rng.Intn(len(live))])
+	q := qs[r.rng.Intn(len(qs))]
+	call := r.cls.Gen.Call(r.rng, q)
+	fresh := r.rng.Intn(2) == 0
+	r.st.Query(r.keys[si], origin, q, call.Args, fresh, func(_ any, err error) {
+		code := int64(0)
+		if err != nil {
+			code = 1
+		}
+		r.v.fold(int64(r.eng.Now()), int64(si), int64(origin), int64(q), 16+code)
+	})
+}
+
+func (r *shardRunner) correct(n int) bool { return !r.down[n] && !r.crashed[n] }
+
+// shardQuiescent reports whether shard si has no in-flight calls from
+// correct origins and every correct replica applied every acked update.
+func (r *shardRunner) shardQuiescent(si int) bool {
+	for n, c := range r.pending[si] {
+		if r.correct(n) && c > 0 {
+			return false
+		}
+	}
+	sh := r.st.Shard(r.keys[si])
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.correct(n) {
+			continue
+		}
+		applied := sh.Replica(spec.ProcID(n)).Applied()
+		for p := 0; p < r.plan.Nodes; p++ {
+			if !r.correct(p) {
+				continue
+			}
+			for u, want := range r.acked[si][p] {
+				if applied.Get(spec.ProcID(p), spec.MethodID(u)) < want {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (r *shardRunner) stalledShards() []string {
+	var stalled []string
+	for si, key := range r.keys {
+		if !r.shardQuiescent(si) {
+			stalled = append(stalled, key)
+		}
+	}
+	return stalled
+}
+
+// drain runs until every shard is quiescent or the budget expires. The
+// verdict-level Drained bit means "all shards"; per-shard stalls are
+// reported individually by run().
+func (r *shardRunner) drain() bool {
+	deadline := r.eng.Now() + sim.Time(r.opts.DrainDeadline)
+	for r.eng.Now() < deadline {
+		r.eng.RunFor(200 * sim.Microsecond)
+		if len(r.stalledShards()) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *shardRunner) probeConvergence(si int) {
+	sh := r.st.Shard(r.keys[si])
+	ref := -1
+	var refState spec.State
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.correct(n) {
+			continue
+		}
+		st := sh.Replica(spec.ProcID(n)).CurrentState()
+		if refState == nil {
+			ref, refState = n, st
+			continue
+		}
+		if !refState.Equal(st) {
+			r.violate("convergence", fmt.Sprintf("%s: replicas p%d and p%d hold different states after heal+drain", r.keys[si], ref, n))
+		}
+	}
+}
+
+func (r *shardRunner) probeExactlyOnce(si int) {
+	sh := r.st.Shard(r.keys[si])
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.correct(n) {
+			continue
+		}
+		applied := sh.Replica(spec.ProcID(n)).Applied()
+		for p := 0; p < r.plan.Nodes; p++ {
+			if !r.correct(p) {
+				continue
+			}
+			for u, want := range r.acked[si][p] {
+				got := applied.Get(spec.ProcID(p), spec.MethodID(u))
+				switch {
+				case got < want:
+					r.violate("lost-update", fmt.Sprintf("%s: p%d applied %d of %d acked %s calls from p%d",
+						r.keys[si], n, got, want, r.cls.Methods[u].Name, p))
+				case got > want:
+					r.violate("duplicate", fmt.Sprintf("%s: p%d applied %d %s calls from p%d but only %d were acked",
+						r.keys[si], n, got, r.cls.Methods[u].Name, p, want))
+				}
+			}
+		}
+	}
+}
+
+func (r *shardRunner) probeIntegrity(final bool) {
+	if r.cls.TrivialInvariant || r.cls.Invariant == nil {
+		return
+	}
+	for _, key := range r.keys {
+		sh := r.st.Shard(key)
+		for n := 0; n < r.plan.Nodes; n++ {
+			if r.down[n] || r.crashed[n] {
+				continue
+			}
+			if !r.cls.Invariant(sh.Replica(spec.ProcID(n)).CurrentState()) {
+				when := "during run"
+				if final {
+					when = "after heal+drain"
+				}
+				r.violate("integrity", fmt.Sprintf("%s: invariant violated at p%d (%s)", key, n, when))
+				break // one report per shard per probe tick
+			}
+		}
+	}
+}
+
+func (r *shardRunner) violate(probe, detail string) {
+	r.cViolations.Inc()
+	if len(r.v.Violations) >= maxViolations {
+		return
+	}
+	r.v.Violations = append(r.v.Violations, Violation{At: r.eng.Now(), Probe: probe, Detail: detail})
+}

@@ -49,7 +49,7 @@ import (
 // Violation is one conformance failure, anchored at the event that
 // exposed it.
 type Violation struct {
-	Check  string   `json:"check"` // permissibility | conflict-order | dependency | exactly-once | query | summarization | convergence | trace
+	Check  string   `json:"check"` // permissibility | conflict-order | dependency | exactly-once | query | summarization | convergence | identity | trace
 	At     sim.Time `json:"at"`
 	Node   int      `json:"node"`
 	Call   string   `json:"call,omitempty"`
@@ -78,6 +78,12 @@ type Options struct {
 	// Correct marks nodes eligible for the end-of-history checks (never
 	// crashed, not still suspended). Nil means all nodes.
 	Correct []bool
+	// RequireIssued treats an apply of a call identity with no Issue event
+	// in this history as a violation. Sound only for complete traces (a
+	// flight-recorder window legitimately starts mid-history); the sharded
+	// checker sets it because a call applied in one shard but issued in
+	// another is exactly the cross-wiring bug it exists to catch.
+	RequireIssued bool
 }
 
 // Report is the outcome of checking one history.
@@ -287,6 +293,19 @@ func (c *checker) step(e trace.Event) {
 // permissibility, then the state transition.
 func (c *checker) stepApply(e trace.Event, rec trace.CallRecord, context string) {
 	ns := c.nodes[e.Node]
+	// Provenance: the applied record must be the call that was issued under
+	// this identity. A mismatch means the apply loop is consuming somebody
+	// else's calls (e.g. two shards' deliveries cross-wired); tags make
+	// calls globally unique, so leakage cannot masquerade as a re-issue.
+	if want, ok := c.issued[e.Call]; ok {
+		if !reflect.DeepEqual(want, rec.C) {
+			c.violate("identity", e, fmt.Sprintf("applied record %s does not match the call issued under this identity (%s)",
+				rec.C.Format(c.cls), want.Format(c.cls)))
+		}
+	} else if c.opts.RequireIssued {
+		c.violate("identity", e, fmt.Sprintf("call %s applied at p%d but never issued in this history (%s)",
+			rec.C.Format(c.cls), e.Node, context))
+	}
 	ns.seen[e.Call]++
 	if n := ns.seen[e.Call]; n > 1 {
 		c.violate("exactly-once", e, fmt.Sprintf("call %s applied %d times at p%d",

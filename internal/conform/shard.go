@@ -1,0 +1,113 @@
+package conform
+
+import (
+	"fmt"
+	"sort"
+
+	"hamband/internal/chaos"
+	"hamband/internal/spec"
+	"hamband/internal/trace"
+)
+
+// SplitShards partitions a shard-tagged history by shard key, dropping
+// events that belong to no shard (heartbeats and other fabric-level
+// traffic the checker ignores). Runtime events carry their shard in
+// Event.Shard (stamped by the scoped tracer); verb events are attributed
+// through the "key:call" WR label convention.
+func SplitShards(events []trace.Event) map[string][]trace.Event {
+	buckets := trace.ByShard(events)
+	delete(buckets, "")
+	return buckets
+}
+
+// CheckSharded replays a sharded store's history per shard: each key's
+// events run through all five conformance checks independently, exactly
+// as if that shard were a standalone cluster. Per-shard checking is what
+// makes isolation falsifiable — leakage between apply loops surfaces as
+// an identity violation (a call applied in a shard that never issued it,
+// or an applied record disagreeing with the issued call), which is why
+// RequireIssued is forced on here.
+func CheckSharded(an *spec.Analysis, events []trace.Event, opts Options) map[string]*Report {
+	opts.RequireIssued = true
+	reports := make(map[string]*Report)
+	for key, evs := range SplitShards(events) {
+		reports[key] = Check(an, evs, opts)
+	}
+	return reports
+}
+
+// ShardedResult pairs a sharded chaos verdict with per-shard conformance
+// reports.
+type ShardedResult struct {
+	Verdict *chaos.Verdict
+	Reports map[string]*Report
+}
+
+// Conforms reports whether every shard's history is explainable by the
+// abstract semantics.
+func (r *ShardedResult) Conforms() bool {
+	for _, rep := range r.Reports {
+		if !rep.OK() {
+			return false
+		}
+	}
+	return len(r.Reports) > 0
+}
+
+// Keys lists the checked shards, sorted.
+func (r *ShardedResult) Keys() []string {
+	keys := make([]string, 0, len(r.Reports))
+	for k := range r.Reports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders one verdict line per shard.
+func (r *ShardedResult) String() string {
+	s := ""
+	for _, k := range r.Keys() {
+		s += fmt.Sprintf("%s: %s\n", k, r.Reports[k])
+	}
+	return s
+}
+
+// RunSharded executes a ShardMix fault plan with tracing enabled and
+// checks every shard's history independently. The plan's CrossWireShards
+// knob is the harness's mutation control: it swaps two shards' broadcast
+// apply loops inside the store, and a sound checker must return
+// non-conforming reports for the wired pair.
+func RunSharded(p chaos.Plan, opts chaos.Options) (*ShardedResult, error) {
+	if p.ShardMix < 2 {
+		return nil, fmt.Errorf("conform: plan has shard_mix=%d, want >= 2", p.ShardMix)
+	}
+	if opts.TraceLimit <= 0 {
+		opts.TraceLimit = DefaultTraceLimit
+	}
+	if opts.QueryMix <= 0 {
+		opts.QueryMix = 2
+	}
+	v, err := chaos.Run(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := chaos.Class(p.Class)
+	if err != nil {
+		return nil, err
+	}
+	reports := CheckSharded(spec.MustAnalyze(cls), v.Trace.Events(), Options{
+		Nodes:     p.Nodes,
+		Quiescent: v.Drained,
+		Correct:   v.Correct,
+	})
+	if d := v.Trace.Dropped(); d > 0 {
+		for _, rep := range reports {
+			rep.Violations = append([]Violation{{
+				Check: "trace", Node: -1,
+				Detail: fmt.Sprintf("%d events dropped beyond the %d-event trace limit; history incomplete", d, opts.TraceLimit),
+			}}, rep.Violations...)
+		}
+	}
+	return &ShardedResult{Verdict: v, Reports: reports}, nil
+}

@@ -113,6 +113,33 @@ type Options struct {
 	// groups, so several replicated objects can share one fabric. The
 	// heartbeat infrastructure is shared across namespaces.
 	Namespace string
+
+	// ShardTag names the shard this cluster implements inside a
+	// multi-object store (package store). When set, call identities in
+	// traces and WR labels are prefixed "tag:" so one merged fabric trace
+	// decomposes per shard, and summary writes enqueue under the tag for
+	// cross-shard accounting. Empty for standalone clusters.
+	ShardTag string
+
+	// Coalescers, when non-nil, holds one shared per-node write coalescer
+	// (indexed by node id) through which replicas route their summary-slot
+	// fan-out. Shards sharing a node's coalescers get their same-peer WRs
+	// chained into one doorbell. Nil gives each replica a private
+	// coalescer, which reproduces the single-object behavior exactly.
+	Coalescers []*rdma.Coalescer
+
+	// FailureDomain, when non-nil, supplies shared per-node heartbeat
+	// beaters and detectors; replicas subscribe instead of running their
+	// own, and the cluster skips heartbeat region registration. Nil (the
+	// default) keeps the per-cluster failure handling.
+	FailureDomain *FailureDomain
+
+	// FreeDeliveryHook, when non-nil, intercepts every irreducible
+	// conflict-free broadcast delivery before the replica processes it.
+	// Returning true consumes the delivery. It exists for the conformance
+	// harness's cross-wiring mutation control and must never be set in
+	// production.
+	FreeDeliveryHook func(p spec.ProcID, src rdma.NodeID, payload []byte) bool
 }
 
 // DefaultOptions returns production-shaped parameters.
@@ -177,8 +204,10 @@ func NewCluster(fab *rdma.Fabric, an *spec.Analysis, opts Options) *Cluster {
 	}
 
 	// Attach the tracer to the fabric so labeled verbs surface their
-	// post/wire/completion timestamps (zero cost without labels).
-	if opts.Tracer != nil {
+	// post/wire/completion timestamps (zero cost without labels). A shard
+	// cluster's tracer is a scoped view; the store attaches the root tracer
+	// to the fabric itself, so a shard never replaces an attached one.
+	if opts.Tracer != nil && (opts.ShardTag == "" || fab.Tracer() == nil) {
 		fab.EnableTracing(opts.Tracer)
 	}
 
@@ -209,7 +238,7 @@ func NewCluster(fab *rdma.Fabric, an *spec.Analysis, opts Options) *Cluster {
 			r := node.Register(opts.Namespace+sumRegionBase, nslots*opts.SumSlotSize)
 			r.AllowAllWrites() // single-writer per slot by protocol
 		}
-		if !opts.DisableFailureHandling {
+		if !opts.DisableFailureHandling && opts.FailureDomain == nil {
 			heartbeat.Register(node)
 		}
 	}
@@ -283,9 +312,10 @@ type Replica struct {
 	sigmaQ   spec.State   // materialized Apply(S)(σ)
 	qDirty   bool
 	haveSums bool
-	// Per-peer summary-slot writes awaiting one chained doorbell.
-	sumOut        [][]rdma.WR
-	sumFlushArmed bool
+	// coal batches summary-slot writes per peer into one chained doorbell;
+	// private by default, shared across shards when Options.Coalescers is
+	// set (cross-shard WRs to one peer then ride one chain).
+	coal *rdma.Coalescer
 	// Per-group delta-writer state for the own slot (DeltaSummaries).
 	deltaW []deltaWriter
 
@@ -299,6 +329,7 @@ type Replica struct {
 	groups   []*mu.Instance
 	beater   *heartbeat.Beater
 	detector *heartbeat.Detector
+	fdom     *FailureDomain // shared failure handling; beater/detector stay nil-owned
 
 	// Pending conflicting requests awaiting their ordered delivery.
 	pendingConf map[uint64]func(any, error)
@@ -366,7 +397,11 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		pendingConf: make(map[uint64]func(any, error)),
 		specA:       make(map[callKey2]uint32),
 		haveSums:    len(cls.SumGroups) > 0,
-		sumOut:      make([][]rdma.WR, n),
+	}
+	if c.Opts.Coalescers != nil {
+		r.coal = c.Opts.Coalescers[id]
+	} else {
+		r.coal = rdma.NewCoalescer(r.node)
 	}
 	if reg := c.Opts.Metrics; reg.Enabled() {
 		r.mReduceLat = reg.Histogram("core.call.reduce", nil)
@@ -402,7 +437,16 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 
 	// Broadcast: carries irreducible conflict-free calls into F buffers.
 	r.bc = broadcast.NewBroadcaster(c.Fab, r.node, c.Opts.Broadcast)
-	r.rx = broadcast.NewReceiver(c.Fab, r.node, c.Opts.Broadcast, r.onFreeDelivery)
+	onFree := r.onFreeDelivery
+	if hook := c.Opts.FreeDeliveryHook; hook != nil {
+		onFree = func(src rdma.NodeID, seq uint64, payload []byte) {
+			if hook(id, src, payload) {
+				return
+			}
+			r.onFreeDelivery(src, seq, payload)
+		}
+	}
+	r.rx = broadcast.NewReceiver(c.Fab, r.node, c.Opts.Broadcast, onFree)
 
 	// One consensus instance per synchronization group.
 	for g := range c.An.SyncGroups {
@@ -412,6 +456,15 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		if c.Opts.Tracer != nil {
 			in.Tracer = c.Opts.Tracer
 			in.TraceLabel = confLabel
+			if tag := c.Opts.ShardTag; tag != "" {
+				in.TraceLabel = func(payload []byte) string {
+					l := confLabel(payload)
+					if l == "" {
+						return ""
+					}
+					return tag + ":" + l
+				}
+			}
 		}
 		in.Deliver = func(_ uint64, origin rdma.NodeID, payload []byte) {
 			r.onConfDelivery(g, origin, payload)
@@ -426,12 +479,20 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		r.groups = append(r.groups, in)
 	}
 
-	// Failure handling.
+	// Failure handling: subscribe to the shared domain when one exists
+	// (the node beats once for all its shards), else run a private
+	// beater/detector pair as before.
 	if !c.Opts.DisableFailureHandling {
-		r.beater = heartbeat.NewBeater(c.Fab.Engine(), r.node, c.Opts.Heartbeat.BeatPeriod)
-		r.detector = heartbeat.NewDetector(c.Fab, r.node, c.Opts.Heartbeat)
-		r.detector.OnSuspect = r.onSuspect
-		r.detector.OnRestore = r.onRestore
+		if fd := c.Opts.FailureDomain; fd != nil {
+			r.fdom = fd
+			fd.Subscribe(int(id), r.onSuspect, r.onRestore)
+			r.beater = fd.Beater(int(id))
+		} else {
+			r.beater = heartbeat.NewBeater(c.Fab.Engine(), r.node, c.Opts.Heartbeat.BeatPeriod)
+			r.detector = heartbeat.NewDetector(c.Fab, r.node, c.Opts.Heartbeat)
+			r.detector.OnSuspect = r.onSuspect
+			r.detector.OnRestore = r.onRestore
+		}
 	}
 
 	// Pollers.
@@ -475,7 +536,9 @@ func (r *Replica) DeltaStats() (deltas, anchors, gapFetches uint64) {
 	return r.statDeltas, r.statAnchors, r.statGapFetch
 }
 
-// stop cancels the replica's background activity.
+// stop cancels the replica's background activity. Shared failure-domain
+// components outlive the replica (other shards still use them); the domain
+// owner stops them via FailureDomain.Stop.
 func (r *Replica) stop() {
 	for _, t := range r.tickers {
 		t.Cancel()
@@ -483,6 +546,9 @@ func (r *Replica) stop() {
 	r.rx.Stop()
 	for _, in := range r.groups {
 		in.Stop()
+	}
+	if r.fdom != nil {
+		return
 	}
 	if r.beater != nil {
 		r.beater.Stop()

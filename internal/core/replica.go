@@ -34,12 +34,23 @@ func confLabel(payload []byte) string {
 // notes or payloads guard on it so the disabled path stays allocation-free.
 func (r *Replica) tracing() bool { return r.opts.Tracer != nil }
 
+// callLabel renders a call's trace identity: the bare callID standalone,
+// "shard:callID" inside a multi-object store — the same string tags the
+// call's WR labels, so fabric verb events attribute to the right shard.
+// Only called on tracing paths; the disabled path never builds it.
+func (r *Replica) callLabel(c spec.Call) string {
+	if r.opts.ShardTag == "" {
+		return callID(c)
+	}
+	return r.opts.ShardTag + ":" + callID(c)
+}
+
 // trace records a lifecycle event when tracing is enabled.
 func (r *Replica) trace(kind trace.Kind, c spec.Call, note string) {
 	if r.opts.Tracer == nil {
 		return
 	}
-	r.opts.Tracer.Record(int(r.id), kind, callID(c), note)
+	r.opts.Tracer.Record(int(r.id), kind, r.callLabel(c), note)
 }
 
 // traceData records a lifecycle event with a structured payload for the
@@ -48,7 +59,7 @@ func (r *Replica) traceData(kind trace.Kind, c spec.Call, note string, data any)
 	if r.opts.Tracer == nil {
 		return
 	}
-	r.opts.Tracer.RecordData(int(r.id), kind, callID(c), note, data)
+	r.opts.Tracer.RecordData(int(r.id), kind, r.callLabel(c), note, data)
 }
 
 // Errors returned to clients through Invoke's callback.
@@ -244,7 +255,7 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Tim
 	// fills) the full frame is re-anchored instead.
 	var label string
 	if r.tracing() {
-		label = callID(c) // built only when tracing: keeps the hot path allocation-free
+		label = r.callLabel(c) // built only when tracing: keeps the hot path allocation-free
 	}
 	wr := rdma.WR{Region: r.opts.Namespace + sumRegionBase, Off: off, Data: used, Label: label}
 	if r.opts.DeltaSummaries {
@@ -254,9 +265,8 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Tim
 		if spec.ProcID(p) == r.id {
 			continue
 		}
-		r.sumOut[p] = append(r.sumOut[p], wr)
+		r.coal.Enqueue(rdma.NodeID(p), r.opts.ShardTag, wr)
 	}
-	r.armSumFlush()
 	r.statApplied++
 	r.mApplied.Inc()
 	r.assertIntegrity("reduce")
@@ -269,30 +279,6 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Tim
 	r.kickApply() // counts advanced: dependent buffered calls may unblock
 	if onDone != nil {
 		onDone(nil, nil)
-	}
-}
-
-// armSumFlush defers the summary fan-out to a zero-cost CPU work item:
-// reducible calls already queued on the CPU run before it, so their slot
-// writes join the same verb chain — one doorbell per peer per CPU drain
-// instead of one per call.
-func (r *Replica) armSumFlush() {
-	if r.sumFlushArmed {
-		return
-	}
-	r.sumFlushArmed = true
-	r.node.CPU.Exec(0, r.flushSumWrites)
-}
-
-func (r *Replica) flushSumWrites() {
-	r.sumFlushArmed = false
-	for p := range r.sumOut {
-		wrs := r.sumOut[p]
-		if len(wrs) == 0 {
-			continue
-		}
-		r.sumOut[p] = nil
-		r.node.QP(rdma.NodeID(p)).PostChain(wrs, nil)
 	}
 }
 
@@ -556,7 +542,19 @@ func (r *Replica) fetchSlot(g int, p spec.ProcID, slot *sumSlot) {
 // detectorSuspects reports whether peer p is currently suspected: repair
 // already targets suspects, so gap fetches skip them.
 func (r *Replica) detectorSuspects(p spec.ProcID) bool {
-	return r.detector != nil && r.detector.Suspected(rdma.NodeID(p))
+	return r.suspected(rdma.NodeID(p))
+}
+
+// suspected consults whichever failure detector this replica runs on: its
+// private one, the shared domain's, or none (failure handling disabled).
+func (r *Replica) suspected(peer rdma.NodeID) bool {
+	if r.detector != nil {
+		return r.detector.Suspected(peer)
+	}
+	if r.fdom != nil {
+		return r.fdom.Suspected(int(r.id), peer)
+	}
+	return false
 }
 
 // --- irreducible conflict-free calls (rules FREE / FREE-APP) -------------
@@ -593,7 +591,7 @@ func (r *Replica) invokeFree(u spec.MethodID, args spec.Args, submitAt sim.Time,
 		if err == nil {
 			var label string
 			if r.tracing() {
-				label = callID(c)
+				label = r.callLabel(c)
 			}
 			err = r.enqueueFree(entry, label)
 		}
@@ -1050,7 +1048,7 @@ func (r *Replica) isSuccessor(peer rdma.NodeID) bool {
 		if next == r.node.ID() {
 			return true
 		}
-		if r.detector == nil || !r.detector.Suspected(next) {
+		if !r.suspected(next) {
 			return false
 		}
 	}
@@ -1121,6 +1119,15 @@ func (r *Replica) repairSummaries(peer rdma.NodeID) {
 
 // CurrentState returns a snapshot of Apply(S)(σ) for tests and examples.
 func (r *Replica) CurrentState() spec.State { return r.queryState().Clone() }
+
+// InjectFree feeds an irreducible conflict-free broadcast payload into this
+// replica's F buffers as if it had been delivered from src. It exists for
+// the conformance harness's cross-wiring mutation control (a delivery
+// rerouted into the wrong shard's apply loop, which the per-shard checks
+// must catch); production deliveries always arrive through the receiver.
+func (r *Replica) InjectFree(src rdma.NodeID, payload []byte) {
+	r.onFreeDelivery(src, 0, payload)
+}
 
 // QueueDepths reports buffered-but-unapplied calls (diagnostics).
 func (r *Replica) QueueDepths() (free, conf int) {

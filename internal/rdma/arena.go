@@ -1,0 +1,175 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrArenaExhausted is returned by Arena.Carve when the requested size does
+// not fit in any free span of the parent region. It is a typed, recoverable
+// error: multi-object stores turn it into an admission decision ("this
+// shard does not fit the ring-memory budget") instead of a crash.
+var ErrArenaExhausted = errors.New("rdma: arena exhausted")
+
+// span is one contiguous byte range of the arena's parent region.
+type span struct{ off, size int }
+
+// Arena sub-allocates named sub-regions from one registered parent region.
+//
+// Real RDMA deployments register a few large memory regions at startup
+// (registration pins pages and programs the NIC's MTT, which is slow and a
+// scarce resource) and carve per-object rings and slots out of them. Arena
+// reproduces that discipline for the simulated fabric: every Carve returns
+// a *Region aliasing a sub-range of the parent's buffer, so one-sided verbs
+// targeting the sub-region's name work exactly like verbs on a first-class
+// registration, while the memory itself stays inside the parent's single
+// allocation and an explicit byte budget.
+//
+// Allocation is first-fit over a sorted, coalesced free list. Release
+// zeroes the span (the next tenant must not observe a previous shard's
+// bytes) and merges it back. All operations are mutex-guarded so stores can
+// admit and close shards concurrently against one budget.
+type Arena struct {
+	mu     sync.Mutex
+	parent *Region
+	free   []span // sorted by offset, adjacent spans coalesced
+	allocs map[string]span
+}
+
+// NewArena wraps parent as an allocation arena. The parent region should
+// not be written through directly once sub-regions are carved from it.
+func NewArena(parent *Region) *Arena {
+	return &Arena{
+		parent: parent,
+		free:   []span{{0, parent.Size()}},
+		allocs: make(map[string]span),
+	}
+}
+
+// Size returns the arena's total capacity in bytes.
+func (a *Arena) Size() int { return a.parent.Size() }
+
+// Used returns the bytes currently carved out.
+func (a *Arena) Used() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used()
+}
+
+func (a *Arena) used() int {
+	u := 0
+	for _, s := range a.allocs {
+		u += s.size
+	}
+	return u
+}
+
+// Available returns the bytes not currently carved out. Fragmentation can
+// make a Carve of Available() bytes fail; Largest reports the worst case.
+func (a *Arena) Available() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.parent.Size() - a.used()
+}
+
+// Largest returns the biggest single allocation that can currently succeed.
+func (a *Arena) Largest() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	max := 0
+	for _, s := range a.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}
+
+// Carve allocates a sub-region of the given size under name. The returned
+// region aliases the parent's memory and serves verbs like any registered
+// region. Exhaustion returns an error wrapping ErrArenaExhausted; a
+// duplicate name or non-positive size is a programming error and panics,
+// matching Node.Register.
+func (a *Arena) Carve(name string, size int) (*Region, error) {
+	if size <= 0 {
+		panic(fmt.Sprintf("rdma: arena carve %q with size %d", name, size))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.allocs[name]; ok {
+		panic(fmt.Sprintf("rdma: arena sub-region %q already carved", name))
+	}
+	for i, s := range a.free {
+		if s.size < size {
+			continue
+		}
+		if s.size == size {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = span{s.off + size, s.size - size}
+		}
+		a.allocs[name] = span{s.off, size}
+		r := &Region{
+			name:    name,
+			owner:   a.parent.owner,
+			buf:     a.parent.buf[s.off : s.off+size : s.off+size],
+			writers: make(map[NodeID]bool),
+			arena:   a,
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("rdma: carving %q (%d B, %d B free, largest span %d B): %w",
+		name, size, a.parent.Size()-a.used(), a.largestLocked(), ErrArenaExhausted)
+}
+
+func (a *Arena) largestLocked() int {
+	max := 0
+	for _, s := range a.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}
+
+// release returns name's span to the free list, zeroing its bytes so a
+// future tenant starts from clean memory. Unknown names are a no-op
+// (release is idempotent).
+func (a *Arena) release(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.allocs[name]
+	if !ok {
+		return
+	}
+	delete(a.allocs, name)
+	for i := range a.parent.buf[s.off : s.off+s.size] {
+		a.parent.buf[s.off+i] = 0
+	}
+	// Insert sorted by offset, then coalesce with the neighbors.
+	at := len(a.free)
+	for i, f := range a.free {
+		if f.off > s.off {
+			at = i
+			break
+		}
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[at+1:], a.free[at:])
+	a.free[at] = s
+	a.coalesce()
+}
+
+// coalesce merges adjacent free spans.
+func (a *Arena) coalesce() {
+	out := a.free[:0]
+	for _, s := range a.free {
+		if n := len(out); n > 0 && out[n-1].off+out[n-1].size == s.off {
+			out[n-1].size += s.size
+			continue
+		}
+		out = append(out, s)
+	}
+	a.free = out
+}

@@ -233,9 +233,16 @@ type Node struct {
 	CPU     *sim.CPU
 	regions map[string]*Region
 	qps     map[NodeID]*QP
+	routes  []regionRoute
 
 	crashed   bool
 	suspended bool
+}
+
+// regionRoute diverts matching Register calls into an arena (see Route).
+type regionRoute struct {
+	match func(name string) bool
+	arena *Arena
 }
 
 // ID returns the node's identifier.
@@ -250,17 +257,72 @@ func (n *Node) Suspended() bool { return n.suspended }
 // Register allocates a memory region of the given size under name and
 // returns it. Registering an existing name panics: region layout is part of
 // protocol setup and a double registration is a programming error.
+//
+// If an installed route (see Route) matches the name, the region is carved
+// out of the route's arena instead of freshly allocated. The caller is
+// expected to have reserved the arena budget beforehand — a carve failure
+// here means the reservation accounting is wrong, so it panics rather than
+// silently spilling outside the budget.
 func (n *Node) Register(name string, size int) *Region {
 	if _, ok := n.regions[name]; ok {
 		panic(fmt.Sprintf("rdma: region %q already registered on node %d", name, n.id))
+	}
+	for _, rt := range n.routes {
+		if !rt.match(name) {
+			continue
+		}
+		r, err := rt.arena.Carve(name, size)
+		if err != nil {
+			panic(fmt.Sprintf("rdma: routed region %q on node %d: %v (budget not reserved?)", name, n.id, err))
+		}
+		n.regions[name] = r
+		return r
 	}
 	r := &Region{name: name, owner: n, buf: make([]byte, size), writers: make(map[NodeID]bool)}
 	n.regions[name] = r
 	return r
 }
 
+// Route installs an arena route: subsequent Register calls whose name
+// matches are carved out of the arena rather than freshly allocated. Routes
+// are consulted in installation order; the first match wins. This is how a
+// multi-object store funnels a protocol stack's region registrations —
+// which know nothing about arenas — into one budgeted parent region.
+func (n *Node) Route(match func(name string) bool, a *Arena) {
+	n.routes = append(n.routes, regionRoute{match: match, arena: a})
+}
+
 // Region returns the region registered under name, or nil.
 func (n *Node) Region(name string) *Region { return n.regions[name] }
+
+// Unregister removes the region registered under name. Arena-carved
+// regions return their span (zeroed) to the arena for reuse. Unknown names
+// are a no-op. The caller is responsible for quiescence: in-flight verbs
+// targeting the name after removal fail with ErrNoRegion, exactly as a
+// real NIC invalidates an rkey.
+func (n *Node) Unregister(name string) {
+	r, ok := n.regions[name]
+	if !ok {
+		return
+	}
+	delete(n.regions, name)
+	if r.arena != nil {
+		r.arena.release(name)
+	}
+}
+
+// UnregisterMatch unregisters every region whose name matches and returns
+// how many were removed.
+func (n *Node) UnregisterMatch(match func(name string) bool) int {
+	removed := 0
+	for name := range n.regions {
+		if match(name) {
+			n.Unregister(name)
+			removed++
+		}
+	}
+	return removed
+}
 
 // QP returns the reliable-connection queue pair from this node to peer,
 // creating it on first use. Verbs posted on the same QP apply at the target
@@ -308,6 +370,7 @@ type Region struct {
 	buf      []byte
 	writers  map[NodeID]bool
 	allowAll bool
+	arena    *Arena // non-nil when carved from an arena (see Arena.Carve)
 }
 
 // Name returns the region's registered name.

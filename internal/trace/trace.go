@@ -27,6 +27,12 @@ type Event struct {
 	Call string // request identity, e.g. "p0#3"; empty for node-level events
 	Note string
 
+	// Shard names the replicated object the event belongs to, for nodes
+	// hosting several (package store). Empty in single-object clusters and
+	// on fabric-level verb events, whose call labels carry the shard prefix
+	// instead (see ShardOf).
+	Shard string
+
 	// Data optionally carries a structured payload — a CallRecord,
 	// SlotRecord, QueryRecord or AckRecord — that makes the event
 	// machine-checkable by the conformance harness (package conform).
@@ -132,6 +138,32 @@ type Tracer struct {
 	drops  int
 	ring   bool // flight-recorder mode: evict oldest instead of dropping newest
 	head   int  // ring mode: index of the oldest event once the ring is full
+
+	// Scoped-view fields: a tracer from Scoped records into root's buffer,
+	// stamping each event with its shard name. root is nil on a root tracer.
+	root  *Tracer
+	shard string
+}
+
+// base returns the tracer that owns the event buffer: the root for scoped
+// views, the tracer itself otherwise.
+func (t *Tracer) base() *Tracer {
+	if t != nil && t.root != nil {
+		return t.root
+	}
+	return t
+}
+
+// Scoped returns a view of the tracer that stamps every recorded event
+// with the given shard name, writing into the same underlying buffer so a
+// multi-object run yields one merged, time-ordered history. Read methods
+// on the view see the whole buffer (filter with ByShard). Scoped on a nil
+// tracer returns nil, preserving the disabled-tracing fast path.
+func (t *Tracer) Scoped(shard string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{root: t.base(), shard: shard}
 }
 
 // New returns a tracer bound to eng holding at most limit events
@@ -166,25 +198,27 @@ func (t *Tracer) RecordData(node int, kind Kind, call, note string, data any) {
 	if t == nil {
 		return
 	}
-	e := Event{At: t.eng.Now(), Node: node, Kind: kind, Call: call, Note: note, Data: data}
-	if len(t.events) < t.limit {
-		t.events = append(t.events, e)
+	b := t.base()
+	e := Event{At: b.eng.Now(), Node: node, Kind: kind, Call: call, Note: note, Shard: t.shard, Data: data}
+	if len(b.events) < b.limit {
+		b.events = append(b.events, e)
 		return
 	}
-	if !t.ring {
-		t.drops++
+	if !b.ring {
+		b.drops++
 		return
 	}
-	t.events[t.head] = e
-	t.head++
-	if t.head == t.limit {
-		t.head = 0
+	b.events[b.head] = e
+	b.head++
+	if b.head == b.limit {
+		b.head = 0
 	}
-	t.drops++
+	b.drops++
 }
 
 // each visits the recorded events oldest-first without copying.
 func (t *Tracer) each(fn func(Event)) {
+	t = t.base()
 	for _, e := range t.events[t.head:] {
 		fn(e)
 	}
@@ -199,6 +233,7 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	t = t.base()
 	out := make([]Event, len(t.events))
 	n := copy(out, t.events[t.head:])
 	copy(out[n:], t.events[:t.head])
@@ -218,10 +253,10 @@ func (t *Tracer) Window(n int) []Event {
 
 // Dropped reports events lost to the limit (New) or evicted from the ring
 // (NewFlightRecorder).
-func (t *Tracer) Dropped() int { return t.drops }
+func (t *Tracer) Dropped() int { return t.base().drops }
 
 // Limit returns the tracer's event capacity.
-func (t *Tracer) Limit() int { return t.limit }
+func (t *Tracer) Limit() int { return t.base().limit }
 
 // Timeline returns the events of one call, in time order.
 func (t *Tracer) Timeline(call string) []Event {
@@ -261,6 +296,7 @@ func (t *Tracer) ByKind(kind Kind) []Event {
 // Format writes the given calls' timelines (all calls when none given),
 // one line per event, with per-call relative times.
 func (t *Tracer) Format(w io.Writer, calls ...string) {
+	t = t.base()
 	if len(calls) == 0 {
 		calls = t.Calls()
 	}
@@ -293,4 +329,45 @@ func FormatWindow(w io.Writer, events []Event) {
 		fmt.Fprintf(w, "t=%-12v n%d %-10s %-10s %s\n",
 			sim.Duration(e.At), e.Node, e.Kind, e.Call, e.Note)
 	}
+}
+
+// ShardOf returns the shard an event belongs to. Runtime events carry it
+// in Event.Shard (stamped by a scoped tracer); fabric verb events carry it
+// as the "shard:" prefix of their call label — a batched label joins calls
+// with commas, but a chain batch is always single-shard, so the first
+// segment's prefix identifies the whole record. Returns "" for unsharded
+// events.
+func ShardOf(e Event) string {
+	if e.Shard != "" {
+		return e.Shard
+	}
+	label := e.Call
+	if i := indexByte(label, ','); i >= 0 {
+		label = label[:i]
+	}
+	if i := indexByte(label, ':'); i >= 0 {
+		return label[:i]
+	}
+	return ""
+}
+
+// ByShard buckets events by ShardOf, preserving order within each bucket.
+// Events with no shard identity land under "".
+func ByShard(events []Event) map[string][]Event {
+	out := make(map[string][]Event)
+	for _, e := range events {
+		s := ShardOf(e)
+		out[s] = append(out[s], e)
+	}
+	return out
+}
+
+// indexByte avoids importing strings for two one-byte scans.
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
 }
