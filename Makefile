@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet staticcheck race check-race bench bench-snapshot bench-wire bench-shard benchstat fuzz chaos conform store cover check
+.PHONY: all build test vet staticcheck race check-race bench bench-snapshot bench-wire bench-shard bench-reconfig benchstat fuzz chaos conform conform-sessions store cover check
 
 all: check
 
@@ -33,12 +33,14 @@ race:
 check-race: build
 	$(GO) test -race -count=1 ./...
 
-# chaos replays the committed fixed-seed plan corpus and the randomized
-# acceptance sweep through the nemesis runner. Failing plans are shrunk
-# and dumped as replayable JSON next to the test binary's working dir
-# (see `hambench -exp chaos -plan-json`).
+# chaos replays the committed fixed-seed plan corpus (including the three
+# join/leave reconfiguration plans) and the randomized acceptance sweep
+# through the nemesis runner, plus the membership-change acceptance tests
+# (round-trip convergence, a leader kill mid-epoch-transition, pair-aware
+# shrinking). Failing plans are shrunk and dumped as replayable JSON next
+# to the test binary's working dir (see `hambench -exp chaos -plan-json`).
 chaos:
-	$(GO) test -run 'TestCorpus|TestRandomizedPlans|TestShardMixConverges|TestShardFaultIsolation' -count=1 -v ./internal/chaos
+	$(GO) test -run 'TestCorpus|TestRandomizedPlans|TestShardMixConverges|TestShardFaultIsolation|TestReconfig' -count=1 -v ./internal/chaos
 
 # conform runs the refinement conformance gate: the fixed-seed corpus
 # (fault-free and fault-plan workloads across the counter/orset/bankmap
@@ -47,6 +49,14 @@ chaos:
 # `hambench -exp conform` for the exploratory version.
 conform:
 	$(GO) test -run 'TestConformCorpus|TestMutated' -count=1 -v ./internal/conform
+
+# conform-sessions runs the client-session gate: the session-guarantee
+# checker's unit histories, live sessions across an epoch change (monotonic
+# reads, read-your-writes, writes-follow-reads spanning replica switches),
+# and the stale-read mutation control (must be caught and shrunk to <= 6
+# events).
+conform-sessions:
+	$(GO) test -run 'TestSession|TestStaleRead' -count=1 -v ./internal/conform
 
 # store runs the sharded multi-object store gate: exact footprint
 # accounting against the per-node arena, typed budget errors, freed-memory
@@ -62,7 +72,7 @@ cover:
 # check is the full pre-merge gate: tier-1 build + tests, static analysis,
 # the race detector, a short fuzz budget over the wire-format parsers, the
 # chaos plan corpus and the refinement conformance corpus.
-check: build vet staticcheck test race fuzz chaos conform store
+check: build vet staticcheck test race fuzz chaos conform conform-sessions store
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics ./internal/ring
@@ -84,6 +94,11 @@ bench-wire:
 SHARDS ?= 16
 bench-shard:
 	$(GO) run ./cmd/hambench -exp shard -shards $(SHARDS)
+
+# bench-reconfig runs the membership-change experiment: windowed throughput
+# around a leave/join round-trip with dip and recovery-time reporting.
+bench-reconfig:
+	$(GO) run ./cmd/hambench -exp reconfig
 
 # benchstat compares two snapshots: make benchstat OLD=a.json NEW=b.json.
 # MAXREGRESS, when nonzero, fails the target if any fig8 point's throughput

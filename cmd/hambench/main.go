@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|latency|shard|chaos|conform]
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|latency|shard|reconfig|chaos|conform]
 //	         [-ops N] [-seed N] [-metrics-json FILE] [-chrome-trace FILE]
 //	         [-latency-json FILE] [-shards N] [-shard-json FILE]
 //	         [-plans N] [-plan-json FILE] [-chaos-dir DIR]
@@ -67,7 +67,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, wire, shard, snapshot, benchstat, chaos, conform")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, wire, shard, reconfig, snapshot, benchstat, chaos, conform")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
@@ -126,6 +126,8 @@ func main() {
 		cfg.Wire(fileWriter(*wireJSON))
 	case "shard":
 		cfg.Shard(*shards, *shardJSON)
+	case "reconfig":
+		cfg.Reconfig()
 	case "analysis":
 		printAnalyses()
 	case "chaos":

@@ -128,3 +128,24 @@ func TestMethodStatMean(t *testing.T) {
 		t.Fatalf("mean = %v, want 100", m.Mean())
 	}
 }
+
+// TestReconfigExperiment runs the membership-change experiment end to end:
+// both epoch transitions must commit, the windowed trace must show the
+// commits, and both transitions must regain their target rate.
+func TestReconfigExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Seed: 3, Out: &buf}
+	cfg.Reconfig()
+	out := buf.String()
+	for _, want := range []string{
+		"<- leave committed", "<- join committed",
+		"steady state:", "final epoch 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "did not regain") {
+		t.Fatalf("a transition never recovered:\n%s", out)
+	}
+}

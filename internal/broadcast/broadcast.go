@@ -31,8 +31,13 @@ import (
 // per replicated object) share a fabric.
 func (c Config) backupRegion() string { return c.Namespace + "rb-backup" }
 
-func (c Config) inRegion(src rdma.NodeID) string {
-	return fmt.Sprintf("%srb-in-%d", c.Namespace, src)
+func (c Config) inRegion(src rdma.NodeID) string { return InboundRegion(c.Namespace, src) }
+
+// InboundRegion names the inbound ring on a receiving node that source src
+// writes into. Exported so the membership layer (package core) can revoke
+// and restore src's write permission on it across configuration changes.
+func InboundRegion(ns string, src rdma.NodeID) string {
+	return fmt.Sprintf("%srb-in-%d", ns, src)
 }
 
 // Config holds broadcast parameters.
@@ -85,19 +90,37 @@ func Setup(fab *rdma.Fabric, cfg Config) {
 	}
 }
 
-// message is the wire format: u64 seq | payload.
-func encodeMessage(seq uint64, payload []byte) []byte {
-	b := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint64(b, seq)
-	copy(b[8:], payload)
+// message is the wire format: u32 epoch | u64 seq | payload. The epoch is
+// the configuration the source believed current when it posted the write;
+// receivers reject messages stamped before the source's minimum epoch
+// (dynamic membership: a removed node that has not yet learned of its
+// removal keeps stamping its old epoch, and those writes must not be
+// delivered).
+const messageHeader = 12
+
+func encodeMessage(epoch uint32, seq uint64, payload []byte) []byte {
+	b := make([]byte, messageHeader+len(payload))
+	binary.LittleEndian.PutUint32(b, epoch)
+	binary.LittleEndian.PutUint64(b[4:], seq)
+	copy(b[messageHeader:], payload)
 	return b
 }
 
-func decodeMessage(b []byte) (seq uint64, payload []byte, err error) {
-	if len(b) < 8 {
-		return 0, nil, codec.ErrCorrupt
+func decodeMessage(b []byte) (epoch uint32, seq uint64, payload []byte, err error) {
+	if len(b) < messageHeader {
+		return 0, 0, nil, codec.ErrCorrupt
 	}
-	return binary.LittleEndian.Uint64(b), b[8:], nil
+	return binary.LittleEndian.Uint32(b), binary.LittleEndian.Uint64(b[4:]), b[messageHeader:], nil
+}
+
+// recordEpoch extracts the epoch stamp from a framed ring record — the
+// extractor installed on every inbound ring reader's epoch gate.
+func recordEpoch(rec []byte) (uint32, bool) {
+	msg, _, err := codec.DecodeRaw(rec)
+	if err != nil || len(msg) < messageHeader {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(msg), true
 }
 
 // Broadcaster is the source side of reliable broadcast on one node.
@@ -107,6 +130,7 @@ type Broadcaster struct {
 	cfg    Config
 	backup *rdma.Region
 	seq    uint64
+	epoch  uint32   // configuration epoch stamped on outgoing messages
 	slots  []uint64 // seq occupying each backup slot, 0 if free
 
 	peers []*peerChan
@@ -169,6 +193,17 @@ func (b *Broadcaster) Broadcast(payload []byte, onDone func()) error {
 	return b.BroadcastLabeled("", payload, onDone)
 }
 
+// SetEpoch installs the configuration epoch stamped on subsequent
+// messages. Epochs only move forward; stale values are ignored.
+func (b *Broadcaster) SetEpoch(e uint32) {
+	if e > b.epoch {
+		b.epoch = e
+	}
+}
+
+// Epoch returns the epoch currently stamped on outgoing messages.
+func (b *Broadcaster) Epoch() uint32 { return b.epoch }
+
 // BroadcastLabeled is Broadcast with a trace label: when the fabric has a
 // tracer attached, the final work request carrying this message's record is
 // tagged with label, so the transport's post/wire/completion events can be
@@ -176,7 +211,7 @@ func (b *Broadcaster) Broadcast(payload []byte, onDone func()) error {
 // records nothing.
 func (b *Broadcaster) BroadcastLabeled(label string, payload []byte, onDone func()) error {
 	b.seq++
-	msg := encodeMessage(b.seq, payload)
+	msg := encodeMessage(b.epoch, b.seq, payload)
 	record, err := codec.EncodeRaw(msg)
 	if err != nil {
 		return err
@@ -198,7 +233,7 @@ func (b *Broadcaster) launch(pm *pendingMsg) {
 	b.slots[slot] = pm.seq
 	// Write the backup before any remote write (the protocol's ordering
 	// requirement); this is a local store.
-	framed, err := codec.EncodeSlot(encodeMessage(pm.seq, pm.record), uint32(pm.seq), b.cfg.BackupSlot)
+	framed, err := codec.EncodeSlot(encodeMessage(b.epoch, pm.seq, pm.record), uint32(pm.seq), b.cfg.BackupSlot)
 	if err != nil {
 		// Oversized for the backup slot: configuration error.
 		panic(fmt.Sprintf("broadcast: %v", err))
@@ -354,16 +389,21 @@ type Receiver struct {
 	cfg     Config
 	handler Handler
 
-	readers   map[rdma.NodeID]*ring.Reader
-	delivered map[rdma.NodeID]map[uint64]bool
-	low       map[rdma.NodeID]uint64 // contiguous delivery watermark per source
-	tornSeen  uint64                 // ring torn-rejects already counted into mTorn
-	ticker    *sim.Ticker
+	readers     map[rdma.NodeID]*ring.Reader
+	delivered   map[rdma.NodeID]map[uint64]bool
+	low         map[rdma.NodeID]uint64 // contiguous delivery watermark per source
+	minEpoch    map[rdma.NodeID]uint32 // per-source epoch floor (dynamic membership)
+	pendingMin  map[rdma.NodeID]uint32 // floors awaiting drain promotion (FloorAfterDrain)
+	tornSeen    uint64                 // ring torn-rejects already counted into mTorn
+	staleSeen   uint64                 // ring stale-rejects already counted into mStale
+	staleBackup uint64                 // stale backup slots rejected during recovery
+	ticker      *sim.Ticker
 
 	mDelivered  *metrics.Counter // messages handed to the handler
 	mRecoveries *metrics.Counter // RecoverFrom sweeps started
 	mRecovered  *metrics.Counter // backup slots holding a decodable pending message
 	mTorn       *metrics.Counter // reads rejected by CRC validation (ring + backup)
+	mStale      *metrics.Counter // records rejected by the epoch gate
 }
 
 // NewReceiver starts delivery on node, invoking handler on the node's CPU
@@ -377,17 +417,22 @@ func NewReceiver(fab *rdma.Fabric, node *rdma.Node, cfg Config, handler Handler)
 		readers:     make(map[rdma.NodeID]*ring.Reader),
 		delivered:   make(map[rdma.NodeID]map[uint64]bool),
 		low:         make(map[rdma.NodeID]uint64),
+		minEpoch:    make(map[rdma.NodeID]uint32),
+		pendingMin:  make(map[rdma.NodeID]uint32),
 		mDelivered:  cfg.Metrics.Counter("broadcast.delivered"),
 		mRecoveries: cfg.Metrics.Counter("broadcast.recovery_sweeps"),
 		mRecovered:  cfg.Metrics.Counter("broadcast.backup_slots_recovered"),
 		mTorn:       cfg.Metrics.Counter("broadcast.torn_rejects"),
+		mStale:      cfg.Metrics.Counter("broadcast.stale_rejects"),
 	}
 	for i := 0; i < fab.Size(); i++ {
 		src := rdma.NodeID(i)
 		if src == node.ID() {
 			continue
 		}
-		r.readers[src] = ring.NewReader(node.Region(cfg.inRegion(src)).Bytes())
+		rd := ring.NewReader(node.Region(cfg.inRegion(src)).Bytes())
+		rd.SetEpochGate(recordEpoch)
+		r.readers[src] = rd
 		r.delivered[src] = make(map[uint64]bool)
 	}
 	r.ticker = fab.Engine().NewTicker(cfg.PollPeriod, r.poll)
@@ -397,22 +442,62 @@ func NewReceiver(fab *rdma.Fabric, node *rdma.Node, cfg Config, handler Handler)
 // Stop cancels the receiver's poll loop.
 func (r *Receiver) Stop() { r.ticker.Cancel() }
 
+// SetMinEpoch raises the epoch floor for one source: ring records and
+// backup slots src stamped with an older configuration are rejected and
+// counted instead of delivered. Call it when src leaves the configuration
+// (floor = the departure epoch) so writes src posted without knowing of
+// its removal cannot be delivered.
+func (r *Receiver) SetMinEpoch(src rdma.NodeID, e uint32) {
+	if e > r.minEpoch[src] {
+		r.minEpoch[src] = e
+	}
+	if rd := r.readers[src]; rd != nil {
+		rd.SetMinEpoch(e)
+	}
+}
+
+// FloorAfterDrain schedules an epoch-floor raise for src that takes effect
+// only once this receiver has drained src's inbound ring: records src
+// legitimately posted (and acked) while still a member must be delivered,
+// not rejected, even if this node was suspended when the membership change
+// committed and only drains its backlog much later. Raising the floor on a
+// timer cannot give that guarantee; draining-then-raising can, because a
+// removed node's writes are refused at the NIC, so everything in the ring
+// predates the revocation.
+func (r *Receiver) FloorAfterDrain(src rdma.NodeID, e uint32) {
+	if cur, ok := r.pendingMin[src]; (!ok || e > cur) && e > r.minEpoch[src] {
+		r.pendingMin[src] = e
+	}
+}
+
+// StaleRejects returns how many records the epoch gates have rejected
+// across all sources (ring records and recovered backup slots).
+func (r *Receiver) StaleRejects() uint64 {
+	total := r.staleBackup
+	for _, rd := range r.readers {
+		total += rd.StaleRejects()
+	}
+	return total
+}
+
 func (r *Receiver) poll() {
 	if r.node.Suspended() || r.node.Crashed() {
 		return
 	}
 	r.node.CPU.Exec(r.cfg.PollCost, func() {
 		validated := 0
-		var torn uint64
+		var torn, stale uint64
 		for p := 0; p < r.fab.Size(); p++ {
 			src := rdma.NodeID(p)
 			rd := r.readers[src]
 			if rd == nil {
 				continue
 			}
+			drained := false
 			for {
 				rec, ok, err := rd.Poll()
 				if err != nil || !ok {
+					drained = err == nil && !ok
 					break
 				}
 				validated += len(rec)
@@ -420,17 +505,26 @@ func (r *Receiver) poll() {
 				if err != nil {
 					break
 				}
-				seq, payload, err := decodeMessage(msg)
+				_, seq, payload, err := decodeMessage(msg)
 				if err != nil {
 					break
 				}
 				r.deliver(src, seq, payload)
 			}
+			if e, ok := r.pendingMin[src]; ok && drained {
+				delete(r.pendingMin, src)
+				r.SetMinEpoch(src, e)
+			}
 			torn += rd.TornRejects()
+			stale += rd.StaleRejects()
 		}
 		if torn > r.tornSeen {
 			r.mTorn.Add(torn - r.tornSeen)
 			r.tornSeen = torn
+		}
+		if stale += r.staleBackup; stale > r.staleSeen {
+			r.mStale.Add(stale - r.staleSeen)
+			r.staleSeen = stale
 		}
 		if cost := r.fab.Latency().CRCCost(validated); cost > 0 {
 			// The checksum compute leg of this sweep's validated reads:
@@ -505,8 +599,14 @@ func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int, seen map[int]u
 				continue
 			}
 			seen[slot] = ver
-			seq, record, derr := decodeMessage(msg)
+			epoch, seq, record, derr := decodeMessage(msg)
 			if derr != nil {
+				continue
+			}
+			if epoch < r.minEpoch[src] {
+				// Backup slot stamped before src's departure epoch: the
+				// same stale-write rejection the ring gate applies.
+				r.staleBackup++
 				continue
 			}
 			// The backup stores the framed ring record; unwrap it.
@@ -514,7 +614,7 @@ func (r *Receiver) recoverSweep(src rdma.NodeID, retriesLeft int, seen map[int]u
 			if derr != nil {
 				continue
 			}
-			iseq, payload, derr := decodeMessage(inner)
+			_, iseq, payload, derr := decodeMessage(inner)
 			if derr != nil || iseq != seq {
 				continue
 			}

@@ -11,14 +11,14 @@ import (
 
 // backupSlotBytes builds the exact nesting recoverSweep expects in one
 // backup slot: EncodeSlot( message(seq, EncodeRaw( message(seq, payload)))).
-func backupSlotBytes(t *testing.T, cfg Config, seq uint64, payload []byte) []byte {
+func backupSlotBytes(t *testing.T, cfg Config, epoch uint32, seq uint64, payload []byte) []byte {
 	t.Helper()
-	inner := encodeMessage(seq, payload)
+	inner := encodeMessage(epoch, seq, payload)
 	record, err := codec.EncodeRaw(inner)
 	if err != nil {
 		t.Fatal(err)
 	}
-	framed, err := codec.EncodeSlot(encodeMessage(seq, record), uint32(seq), cfg.BackupSlot)
+	framed, err := codec.EncodeSlot(encodeMessage(epoch, seq, record), uint32(seq), cfg.BackupSlot)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,8 +47,8 @@ func TestRecoverRetryDoesNotReapplySlots(t *testing.T) {
 	// interior flipped so the CRC rejects it on every pass — a writer that
 	// died mid-write).
 	backup := fab.Node(0).Region(cfg.backupRegion()).Bytes()
-	copy(backup, backupSlotBytes(t, cfg, 1, []byte("survivor")))
-	torn := backupSlotBytes(t, cfg, 2, []byte("never lands"))
+	copy(backup, backupSlotBytes(t, cfg, 0, 1, []byte("survivor")))
+	torn := backupSlotBytes(t, cfg, 0, 2, []byte("never lands"))
 	torn[10] ^= 0xFF
 	copy(backup[cfg.BackupSlot:], torn)
 

@@ -125,15 +125,73 @@ func GenerateSharded(class string, nodes, ops int, seed int64, shards int) Plan 
 	return p
 }
 
+// GenerateReconfig builds a randomized fault plan with a membership
+// round-trip riding on it: one node leaves a third of the way through the
+// workload and rejoins at two thirds, with sessions client sessions
+// spanning the epoch changes. The reconfiguration target is a node no
+// suspend window touches, so the leave/join composes with the base
+// schedule instead of colliding with it. Kept as a wrapper (like
+// GenerateSharded) so the static-membership corpus hashes are untouched.
+func GenerateReconfig(class string, nodes, ops int, seed int64, sessions int) Plan {
+	p := Generate(class, nodes, ops, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x6a09e667))
+	horizon := sim.Time(sim.Duration(ops/4+2) * 50 * sim.Microsecond)
+	used := make(map[int]bool)
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindSuspend, KindResume, KindCrash:
+			used[e.Node] = true
+		}
+	}
+	target := rng.Intn(nodes)
+	for _, c := range rng.Perm(nodes) {
+		if !used[c] {
+			target = c
+			break
+		}
+	}
+	p.Sessions = sessions
+	p.Events = append(p.Events,
+		Event{At: horizon / 3, Kind: KindLeave, Node: target},
+		Event{At: 2 * horizon / 3, Kind: KindJoin, Node: target},
+	)
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}
+
+// dropCandidate returns the plan with event i removed — together with its
+// partner when event i is half of a leave/join pair. Dropping a leave
+// alone would strand its join as an orphan (Validate rejects the plan, and
+// any later probe referencing the round-trip would silently lose its first
+// half), so a shrink step removes the pair as a unit.
+func (p Plan) dropCandidate(i int) Plan {
+	switch e := p.Events[i]; e.Kind {
+	case KindLeave:
+		for j := i + 1; j < len(p.Events); j++ {
+			if p.Events[j].Kind == KindJoin && p.Events[j].Node == e.Node {
+				return p.Without(j).Without(i)
+			}
+		}
+	case KindJoin:
+		for j := i - 1; j >= 0; j-- {
+			if p.Events[j].Kind == KindLeave && p.Events[j].Node == e.Node {
+				return p.Without(i).Without(j)
+			}
+		}
+	}
+	return p.Without(i)
+}
+
 // Shrink greedily minimizes a failing plan: it repeatedly tries dropping
-// one event at a time, keeping any drop after which failing still reports
-// true, until no single event can be removed. failing is typically a
-// closure over Run; with ≤ a dozen events the quadratic pass stays cheap.
+// one event at a time (a leave/join pair counts as one unit), keeping any
+// drop after which failing still reports true, until no single event can
+// be removed. failing is typically a closure over Run; with ≤ a dozen
+// events the quadratic pass stays cheap.
 func Shrink(p Plan, failing func(Plan) bool) Plan {
 	for {
 		removed := false
 		for i := 0; i < len(p.Events); i++ {
-			cand := p.Without(i)
+			cand := p.dropCandidate(i)
 			if failing(cand) {
 				p = cand
 				removed = true

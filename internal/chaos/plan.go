@@ -47,6 +47,8 @@ const (
 	KindTorn       Kind = "torn"       // torn writes on A↔B: interior bytes land Extra±Jitter late (0 → default)
 	KindTornHeal   Kind = "tornheal"   // clear the torn-write fault on A↔B
 	KindLeaderKill Kind = "leaderkill" // suspend the current leader of sync group Group
+	KindLeave      Kind = "leave"      // reconfigure node Node out of the membership (epoch bump)
+	KindJoin       Kind = "join"       // re-admit a previously departed node Node (epoch bump)
 )
 
 // DefaultTear is the interior-landing delay a KindTorn event with a zero
@@ -82,6 +84,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v tornheal p%d-p%d", sim.Duration(e.At), e.A, e.B)
 	case KindLeaderKill:
 		return fmt.Sprintf("%v leaderkill g%d", sim.Duration(e.At), e.Group)
+	case KindLeave, KindJoin:
+		return fmt.Sprintf("%v %s p%d", sim.Duration(e.At), e.Kind, e.Node)
 	}
 	return fmt.Sprintf("%v %s", sim.Duration(e.At), e.Kind)
 }
@@ -136,6 +140,24 @@ type Plan struct {
 	// negative control, never part of a passing corpus plan.
 	CrossWireShards bool `json:"cross_wire_shards,omitempty"`
 
+	// Sessions, when positive, runs that many client sessions alongside the
+	// batch workload: each session issues writes and reads against one
+	// replica at a time and occasionally switches replicas, waiting at the
+	// switch until the target covers everything the session has seen. Every
+	// operation records a trace.Session event; the conformance harness's
+	// session checker replays them to verify monotonic reads,
+	// read-your-writes and writes-follow-reads across the switches (and
+	// across any epoch changes the plan's join/leave events drive). Kept as
+	// an opt-in knob so plans without sessions keep their trace hashes.
+	Sessions int `json:"sessions,omitempty"`
+
+	// MutateStaleReads installs the session mutation control: after a
+	// replica switch, the first read of each session is served from the view
+	// the session cached at its very first read instead of the live replica
+	// state — the classic stale-failover-cache bug. A correct session
+	// checker must catch it; never part of a passing corpus plan.
+	MutateStaleReads bool `json:"mutate_stale_reads,omitempty"`
+
 	Events []Event `json:"events"`
 }
 
@@ -156,7 +178,14 @@ func (p Plan) Validate() error {
 	if p.CrossWireShards && p.ShardMix < 2 {
 		return fmt.Errorf("chaos: cross_wire_shards needs shard_mix >= 2")
 	}
+	if p.MutateStaleReads && p.Sessions <= 0 {
+		return fmt.Errorf("chaos: mutate_stale_reads needs sessions > 0")
+	}
+	if p.Sessions < 0 || p.Sessions > 16 {
+		return fmt.Errorf("chaos: sessions = %d, want 0..16", p.Sessions)
+	}
 	node := func(i int) bool { return i >= 0 && i < p.Nodes }
+	left := make(map[int]bool)
 	for i, e := range p.Events {
 		if e.At < 0 {
 			return fmt.Errorf("chaos: event %d at negative time", i)
@@ -173,6 +202,27 @@ func (p Plan) Validate() error {
 		case KindLeaderKill:
 			if e.Group < 0 {
 				return fmt.Errorf("chaos: event %d: negative group", i)
+			}
+		case KindLeave, KindJoin:
+			if !node(e.Node) {
+				return fmt.Errorf("chaos: event %d: node %d out of range", i, e.Node)
+			}
+			if p.ShardMix >= 2 {
+				return fmt.Errorf("chaos: event %d: %s not supported on sharded plans", i, e.Kind)
+			}
+			// Leaves and joins must balance in schedule order: a join with no
+			// earlier leave for the same node is an orphan (the shrinker drops
+			// a leave/join pair together to preserve this).
+			if e.Kind == KindLeave {
+				if left[e.Node] {
+					return fmt.Errorf("chaos: event %d: node %d leaves twice", i, e.Node)
+				}
+				left[e.Node] = true
+			} else {
+				if !left[e.Node] {
+					return fmt.Errorf("chaos: event %d: join of node %d with no earlier leave", i, e.Node)
+				}
+				left[e.Node] = false
 			}
 		default:
 			return fmt.Errorf("chaos: event %d: unknown kind %q", i, e.Kind)

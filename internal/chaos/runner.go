@@ -99,6 +99,13 @@ type Verdict struct {
 	Trace   *trace.Tracer     // non-nil when Options.TraceLimit or FlightWindow > 0
 	Correct []bool            // per node: eligible for end-state probes (never crashed, not still down)
 
+	// Reconfigs counts the membership changes that committed (join/leave
+	// events that won their epoch claim, plus the heal-time rejoins); on a
+	// healthy run FinalEpoch equals it. Both are zero on plans without
+	// reconfiguration events.
+	Reconfigs  int
+	FinalEpoch uint32
+
 	// ShardAcked is the per-shard acked-update count on ShardMix runs
 	// (nil otherwise). A healthy sharded run acks on every shard.
 	ShardAcked []int
@@ -127,6 +134,10 @@ type runner struct {
 
 	down    []bool // suspended by the plan (includes leaderkill victims)
 	crashed []bool
+	leaving []bool // leave event fired (or committed): not a workload origin
+	left    []bool // leave committed: rejoined by healAll
+
+	sessions []*session // client sessions (Plan.Sessions), nil otherwise
 
 	acked   [][]uint32 // acked[p][u]: acknowledged updates by origin and method
 	pending []int      // in-flight calls by origin
@@ -181,6 +192,8 @@ func Run(p Plan, opts Options) (*Verdict, error) {
 		rng:     rand.New(rand.NewSource(p.Seed ^ 0x5DEECE66D)),
 		down:    make([]bool, p.Nodes),
 		crashed: make([]bool, p.Nodes),
+		leaving: make([]bool, p.Nodes),
+		left:    make([]bool, p.Nodes),
 		pending: make([]int, p.Nodes),
 		v:       &Verdict{Plan: p},
 	}
@@ -220,6 +233,13 @@ func (r *runner) run() {
 	// Workload: batches of random updates from random live origins.
 	issueTick := r.eng.NewTicker(r.opts.IssuePeriod, r.issueBatch)
 
+	// Client sessions, one op per session per tick (Plan.Sessions).
+	var sessTick *sim.Ticker
+	if r.plan.Sessions > 0 {
+		r.startSessions()
+		sessTick = r.eng.NewTicker(2*r.opts.IssuePeriod, r.stepSessions)
+	}
+
 	// Integrity probe: the invariant must hold at every queried point on
 	// every live replica.
 	probeTick := r.eng.NewTicker(r.opts.ProbePeriod, func() { r.probeIntegrity(false) })
@@ -233,6 +253,9 @@ func (r *runner) run() {
 	}
 	r.eng.RunUntil(horizon)
 	issueTick.Cancel()
+	if sessTick != nil {
+		sessTick.Cancel()
+	}
 
 	// Heal the world, then drive to quiescence.
 	if !r.plan.NoFinalHeal {
@@ -252,6 +275,7 @@ func (r *runner) run() {
 	r.probeIntegrity(true)
 
 	r.v.Makespan = sim.Duration(r.eng.Now())
+	r.v.FinalEpoch = uint32(r.cluster.Epoch())
 	r.v.Passed = len(r.v.Violations) == 0
 	r.v.Correct = make([]bool, r.plan.Nodes)
 	for n := 0; n < r.plan.Nodes; n++ {
@@ -294,6 +318,10 @@ func (r *runner) apply(e Event) {
 		r.fab.SetTorn(rdma.NodeID(e.A), rdma.NodeID(e.B), 0, 0)
 	case KindLeaderKill:
 		r.leaderKill(e.Group)
+	case KindLeave:
+		r.reconfig(e.Node, false)
+	case KindJoin:
+		r.reconfig(e.Node, true)
 	}
 	r.fold(int64(r.eng.Now()), int64(kindIndex(e.Kind)), int64(e.Node), int64(e.A), int64(e.B))
 }
@@ -338,20 +366,82 @@ func (r *runner) leaderKill(g int) {
 
 func (r *runner) firstLive() int {
 	for i := 0; i < r.plan.Nodes; i++ {
-		if !r.down[i] && !r.crashed[i] {
+		if !r.down[i] && !r.crashed[i] && !r.leaving[i] {
 			return i
 		}
 	}
 	return -1
 }
 
-// healAll lifts every remaining fault: suspended nodes resume and all link
-// faults clear, releasing parked traffic. Crashed nodes stay dead.
+// reconfigSettle is how long the runner stops issuing at a leave target
+// before driving the membership change: in-flight calls at the target
+// drain (and their remote writes land) before its write permission is
+// revoked, so no acknowledged call can be silently dropped by the epoch
+// gate.
+const reconfigSettle = 2 * 50 * sim.Microsecond
+
+// reconfig drives one membership change from a plan event. Reconfiguration
+// is asynchronous (membership-view agreement, then the epoch claim); the
+// commit folds into the trace hash when it resolves. Failures are
+// forgiving like every other nemesis event — a join of a member or a claim
+// lost to a concurrent change is a no-op, so shrinking can drop events and
+// still leave a runnable plan — but they fold distinctly, so schedules
+// that diverge on the outcome diverge in hash.
+func (r *runner) reconfig(n int, join bool) {
+	if join {
+		r.cluster.Join(n, func(err error) {
+			if err == nil {
+				r.left[n], r.leaving[n] = false, false
+				r.v.Reconfigs++
+			}
+			r.fold(int64(r.eng.Now()), 20, int64(n), reconfigCode(err))
+		})
+		return
+	}
+	r.leaving[n] = true // stop issuing here before the permissions go
+	r.eng.After(reconfigSettle, func() {
+		r.cluster.Leave(n, func(err error) {
+			if err == nil {
+				r.left[n] = true
+				r.v.Reconfigs++
+			} else {
+				r.leaving[n] = r.left[n]
+			}
+			r.fold(int64(r.eng.Now()), 21, int64(n), reconfigCode(err))
+		})
+	})
+}
+
+func reconfigCode(err error) int64 {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, core.ErrEpochConflict):
+		return 1
+	case errors.Is(err, core.ErrNoAgreement):
+		return 2
+	case errors.Is(err, core.ErrAlreadyMember), errors.Is(err, core.ErrNotMember):
+		return 3
+	case errors.Is(err, core.ErrNoInitiator):
+		return 4
+	}
+	return 5
+}
+
+// healAll lifts every remaining fault: suspended nodes resume, all link
+// faults clear (releasing parked traffic), and departed nodes rejoin the
+// configuration — they kept receiving as observers, so the join is a
+// permission grant plus a summary-row refresh. Crashed nodes stay dead.
 func (r *runner) healAll() {
 	for i := 0; i < r.plan.Nodes; i++ {
 		r.resume(i)
 	}
 	r.fab.HealAll()
+	for i := 0; i < r.plan.Nodes; i++ {
+		if r.left[i] {
+			r.reconfig(i, true)
+		}
+	}
 	r.fold(int64(r.eng.Now()), -1) // mark the heal in the trace
 }
 
@@ -366,12 +456,7 @@ func (r *runner) issueBatch() {
 	}
 	ups := r.cls.UpdateMethods()
 	for i := 0; i < r.opts.BatchSize && r.v.Issued < r.plan.Ops; i++ {
-		var live []int
-		for n := 0; n < r.plan.Nodes; n++ {
-			if !r.down[n] && !r.crashed[n] {
-				live = append(live, n)
-			}
-		}
+		live := r.issuable()
 		if len(live) == 0 {
 			return
 		}
@@ -379,11 +464,14 @@ func (r *runner) issueBatch() {
 		u := ups[r.rng.Intn(len(ups))]
 		call := r.cls.Gen.Call(r.rng, u)
 		fixTags(&call, origin, uint64(r.v.Issued)+1)
-		r.invoke(origin, u, call.Args)
+		r.invoke(origin, u, call.Args, nil)
 	}
 }
 
-func (r *runner) invoke(origin spec.ProcID, u spec.MethodID, args spec.Args) {
+// invoke issues one update, maintaining the probe bookkeeping. onAck, when
+// non-nil, runs after the bookkeeping when the call resolves (the session
+// clients hook it to stamp their evidence at ack time).
+func (r *runner) invoke(origin spec.ProcID, u spec.MethodID, args spec.Args, onAck func(error)) {
 	r.v.Issued++
 	r.cCalls.Inc()
 	r.pending[origin]++
@@ -404,6 +492,9 @@ func (r *runner) invoke(origin spec.ProcID, u spec.MethodID, args spec.Args) {
 			r.violate("invoke-error", fmt.Sprintf("p%d %s: %v", origin, r.cls.Methods[u].Name, err))
 		}
 		r.fold(int64(r.eng.Now()), int64(origin), int64(u), code)
+		if onAck != nil {
+			onAck(err)
+		}
 	})
 }
 
@@ -415,12 +506,7 @@ func (r *runner) issueQuery() {
 	if len(qs) == 0 {
 		return
 	}
-	var live []int
-	for n := 0; n < r.plan.Nodes; n++ {
-		if !r.down[n] && !r.crashed[n] {
-			live = append(live, n)
-		}
-	}
+	live := r.issuable()
 	if len(live) == 0 {
 		return
 	}
@@ -440,6 +526,19 @@ func (r *runner) issueQuery() {
 	} else {
 		r.cluster.Replica(origin).Invoke(q, call.Args, done)
 	}
+}
+
+// issuable lists the nodes the workload may target: up, and in (or not
+// yet leaving) the configuration — a departed node acks writes locally
+// that no member will ever accept.
+func (r *runner) issuable() []int {
+	var live []int
+	for n := 0; n < r.plan.Nodes; n++ {
+		if !r.down[n] && !r.crashed[n] && !r.leaving[n] {
+			live = append(live, n)
+		}
+	}
+	return live
 }
 
 // fixTags rewrites tag-bearing arguments to be globally unique, as the
@@ -629,6 +728,10 @@ func kindIndex(k Kind) int {
 		return 8
 	case KindTornHeal:
 		return 9
+	case KindLeave:
+		return 10
+	case KindJoin:
+		return 11
 	}
 	return 0
 }

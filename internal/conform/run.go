@@ -50,6 +50,9 @@ func Run(p chaos.Plan, opts chaos.Options) (*Result, error) {
 		Quiescent: v.Drained,
 		Correct:   v.Correct,
 	})
+	if p.Sessions > 0 {
+		rep.Violations = append(rep.Violations, CheckSessions(v.Trace.Events())...)
+	}
 	if d := v.Trace.Dropped(); d > 0 {
 		rep.Violations = append([]Violation{{
 			Check: "trace", Node: -1,

@@ -38,6 +38,17 @@ import (
 // sumRegionBase is the summary-slot region name (namespace-prefixed).
 const sumRegionBase = "ham-sum"
 
+// epochRegionBase is the configuration-epoch word (namespace-prefixed),
+// registered on every node. The copy on node 0 is authoritative: a
+// reconfiguration claims the next epoch with a CAS there (see epoch.go)
+// and the committed value is then disseminated to every node's copy.
+const epochRegionBase = "ham-epoch"
+
+// epochRegionSize is the epoch word's size.
+const epochRegionSize = 8
+
+func epochRegion(ns string) string { return ns + epochRegionBase }
+
 // Options configures a Hamband cluster.
 type Options struct {
 	Heartbeat heartbeat.Config
@@ -170,6 +181,13 @@ type Cluster struct {
 	Opts     Options
 	Replicas []*Replica
 	leaders  []spec.ProcID
+
+	// Dynamic membership (epoch.go): the configuration epoch and which
+	// nodes are currently members. The per-source epoch floors live on each
+	// replica (Replica.minEpochs): they rise independently, once that
+	// replica has drained the departed source's remaining frames.
+	epoch   uint32
+	members []bool
 }
 
 // muGroup names the consensus group of synchronization group g within a
@@ -236,11 +254,24 @@ func NewCluster(fab *rdma.Fabric, an *spec.Analysis, opts Options) *Cluster {
 		node := fab.Node(rdma.NodeID(i))
 		if nslots > 0 {
 			r := node.Register(opts.Namespace+sumRegionBase, nslots*opts.SumSlotSize)
-			r.AllowAllWrites() // single-writer per slot by protocol
+			// Single-writer per slot by protocol; the grants are explicit
+			// per peer (not AllowAllWrites) so a leaving node's permission
+			// can be revoked without touching anyone else's.
+			for p := 0; p < n; p++ {
+				if p != i {
+					r.AllowWrite(rdma.NodeID(p))
+				}
+			}
 		}
+		er := node.Register(epochRegion(opts.Namespace), epochRegionSize)
+		er.AllowAllWrites() // any member may CAS-claim a reconfiguration
 		if !opts.DisableFailureHandling && opts.FailureDomain == nil {
 			heartbeat.Register(node)
 		}
+	}
+	c.members = make([]bool, n)
+	for i := range c.members {
+		c.members[i] = true
 	}
 
 	for i := 0; i < n; i++ {
@@ -352,31 +383,43 @@ type Replica struct {
 
 	applying bool
 
+	// Per-source epoch floors for summary-slot adoption (dynamic
+	// membership). A leave commit parks the departed source's new floor in
+	// pendingMinEpochs; scanSummaries promotes it into minEpochs only after
+	// a pass in which that source's slots were fully readable (no torn
+	// frame, no fetch in flight), so frames the source legitimately wrote —
+	// and acked — before losing its permission are adopted, never rejected,
+	// even if this replica was suspended across the commit.
+	minEpochs        []uint32
+	pendingMinEpochs []uint32
+
 	// Instrumentation (nil instruments are free no-ops).
-	mReduceLat *metrics.Histogram // client-observed reducible-call latency
-	mFreeLat   *metrics.Histogram // irreducible conflict-free call latency
-	mConfLat   *metrics.Histogram // conflicting-call latency (issue → ordered response)
-	mQueryLat  *metrics.Histogram // query latency
-	mFreeDepth *metrics.Gauge     // total F-buffer depth
-	mConfDepth *metrics.Gauge     // total L-buffer depth
-	mApplied   *metrics.Counter   // calls applied to σ or a summary slot
-	mRejected  *metrics.Counter   // calls rejected as impermissible
-	mTorn      *metrics.Counter   // slot reads rejected by CRC validation
-	mDeltas    *metrics.Counter   // δ-records written to peer slot logs
-	mAnchors   *metrics.Counter   // full-state anchor rewrites
-	mGapFetch  *metrics.Counter   // full-state fetches after a gap or CRC park
+	mReduceLat  *metrics.Histogram // client-observed reducible-call latency
+	mFreeLat    *metrics.Histogram // irreducible conflict-free call latency
+	mConfLat    *metrics.Histogram // conflicting-call latency (issue → ordered response)
+	mQueryLat   *metrics.Histogram // query latency
+	mFreeDepth  *metrics.Gauge     // total F-buffer depth
+	mConfDepth  *metrics.Gauge     // total L-buffer depth
+	mApplied    *metrics.Counter   // calls applied to σ or a summary slot
+	mRejected   *metrics.Counter   // calls rejected as impermissible
+	mTorn       *metrics.Counter   // slot reads rejected by CRC validation
+	mDeltas     *metrics.Counter   // δ-records written to peer slot logs
+	mAnchors    *metrics.Counter   // full-state anchor rewrites
+	mGapFetch   *metrics.Counter   // full-state fetches after a gap or CRC park
+	mStaleSlots *metrics.Counter   // slot frames rejected by the epoch floor
 
 	tickers []*sim.Ticker
 
 	// Stats.
-	statApplied   uint64
-	statIssued    uint64
-	statRejected  uint64
-	statRecovered uint64
-	statTorn      uint64
-	statDeltas    uint64
-	statAnchors   uint64
-	statGapFetch  uint64
+	statApplied    uint64
+	statIssued     uint64
+	statRejected   uint64
+	statRecovered  uint64
+	statTorn       uint64
+	statDeltas     uint64
+	statAnchors    uint64
+	statGapFetch   uint64
+	statStaleSlots uint64
 }
 
 func newReplica(c *Cluster, id spec.ProcID) *Replica {
@@ -398,6 +441,8 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		specA:       make(map[callKey2]uint32),
 		haveSums:    len(cls.SumGroups) > 0,
 	}
+	r.minEpochs = make([]uint32, n)
+	r.pendingMinEpochs = make([]uint32, n)
 	if c.Opts.Coalescers != nil {
 		r.coal = c.Opts.Coalescers[id]
 	} else {
@@ -416,6 +461,7 @@ func newReplica(c *Cluster, id spec.ProcID) *Replica {
 		r.mDeltas = reg.Counter("core.delta_records")
 		r.mAnchors = reg.Counter("core.anchor_writes")
 		r.mGapFetch = reg.Counter("core.gap_fetches")
+		r.mStaleSlots = reg.Counter("core.stale_slot_rejects")
 	}
 	for range cls.SumGroups {
 		row := make([]*sumSlot, n)

@@ -65,6 +65,22 @@ func (fd *FailureDomain) Suspected(node int, peer rdma.NodeID) bool {
 	return fd.detectors[node].Suspected(peer)
 }
 
+// Forget drops peer from every node's failure-detection view: a node that
+// cleanly left the configuration is not failed, so suspicion of it clears
+// immediately and no new suspicion is raised until Watch re-admits it.
+func (fd *FailureDomain) Forget(peer rdma.NodeID) {
+	for _, d := range fd.detectors {
+		d.Forget(peer)
+	}
+}
+
+// Watch re-admits a forgotten peer on every node's detector (a join).
+func (fd *FailureDomain) Watch(peer rdma.NodeID) {
+	for _, d := range fd.detectors {
+		d.Watch(peer)
+	}
+}
+
 // Stop cancels every beater and detector. Call after stopping the clusters
 // subscribed to the domain.
 func (fd *FailureDomain) Stop() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -228,7 +229,7 @@ func (r *Replica) invokeReduce(u spec.MethodID, args spec.Args, submitAt sim.Tim
 	r.sumVer[g][int(r.id)]++
 	slot.version = r.sumVer[g][int(r.id)]
 
-	payload := encodeSumSlot(r.cls.SumGroups[g].Methods, slot)
+	payload := encodeSumSlot(r.cls.SumGroups[g].Methods, slot, r.cluster.epoch)
 	framed, err := codec.EncodeSlot(payload, slot.version, r.anchorCap())
 	if err != nil {
 		// The summary outgrew its slot: surface a hard configuration error.
@@ -335,8 +336,11 @@ func groupIndexOf(methods []spec.MethodID, u spec.MethodID) int {
 }
 
 // encodeSumSlot serializes a summary slot's payload:
-// u16 #methods | (u32 count)* | codec entry of the summary call.
-func encodeSumSlot(methods []spec.MethodID, s *sumSlot) []byte {
+// u16 #methods | (u32 count)* | codec entry of the summary call | u32 epoch.
+// The trailing epoch stamps the frame with the configuration its writer
+// believed current; adopters reject frames stamped before the writer's
+// departure epoch (see the minEpochs floor on Replica).
+func encodeSumSlot(methods []spec.MethodID, s *sumSlot, epoch uint32) []byte {
 	b := make([]byte, 0, 2+4*len(s.counts)+64)
 	b = append(b, byte(len(methods)), byte(len(methods)>>8))
 	for _, c := range s.counts {
@@ -348,25 +352,41 @@ func encodeSumSlot(methods []spec.MethodID, s *sumSlot) []byte {
 	if err != nil {
 		panic(fmt.Sprintf("core: summary call too large: %v", err))
 	}
-	return append(b, entry...)
+	b = append(b, entry...)
+	return binary.LittleEndian.AppendUint32(b, epoch)
 }
 
-func decodeSumSlot(b []byte) (counts []uint32, call spec.Call, err error) {
+func decodeSumSlot(b []byte) (counts []uint32, call spec.Call, epoch uint32, err error) {
 	if len(b) < 2 {
-		return nil, call, codec.ErrCorrupt
+		return nil, call, 0, codec.ErrCorrupt
 	}
 	n := int(b[0]) | int(b[1])<<8
 	p := 2
 	if len(b) < p+4*n {
-		return nil, call, codec.ErrCorrupt
+		return nil, call, 0, codec.ErrCorrupt
 	}
 	counts = make([]uint32, n)
 	for i := range counts {
 		counts[i] = uint32(b[p]) | uint32(b[p+1])<<8 | uint32(b[p+2])<<16 | uint32(b[p+3])<<24
 		p += 4
 	}
-	call, _, _, err = codec.DecodeEntry(b[p:])
-	return counts, call, err
+	var m int
+	call, _, m, err = codec.DecodeEntry(b[p:])
+	if err == nil && len(b) >= p+m+4 {
+		epoch = binary.LittleEndian.Uint32(b[p+m:])
+	}
+	return counts, call, epoch, err
+}
+
+// staleSlot reports (and counts) a slot frame from source p stamped before
+// p's departure epoch: a write the configuration no longer accepts.
+func (r *Replica) staleSlot(p spec.ProcID, epoch uint32) bool {
+	if epoch >= r.minEpochs[p] {
+		return false
+	}
+	r.statStaleSlots++
+	r.mStaleSlots.Inc()
+	return true
 }
 
 // scanSummaries polls the local summary region for slots remotely
@@ -380,15 +400,38 @@ func (r *Replica) scanSummaries() {
 	}
 	region := r.node.Region(r.opts.Namespace + sumRegionBase).Bytes()
 	changed := false
+	var blocked []bool // per source: a slot was unreadable this pass
+	for p, e := range r.pendingMinEpochs {
+		if e > r.minEpochs[p] {
+			blocked = make([]bool, r.n)
+			break
+		}
+	}
 	for g, row := range r.sums {
 		for p, slot := range row {
 			if spec.ProcID(p) == r.id {
 				continue // own slot is written locally
 			}
+			var ch, stalled bool
 			if r.opts.DeltaSummaries {
-				changed = r.scanDeltaSlot(g, spec.ProcID(p), slot, region) || changed
+				ch, stalled = r.scanDeltaSlot(g, spec.ProcID(p), slot, region)
 			} else {
-				changed = r.scanFullSlot(g, spec.ProcID(p), slot, region) || changed
+				ch, stalled = r.scanFullSlot(g, spec.ProcID(p), slot, region)
+			}
+			changed = changed || ch
+			if blocked != nil && (stalled || slot.fetching) {
+				blocked[p] = true
+			}
+		}
+	}
+	// Promote pending epoch floors (leave commits) once a full pass has read
+	// everything the departed source left behind: a floor raised any earlier
+	// could reject frames the source wrote — and acked — while still a
+	// member.
+	if blocked != nil {
+		for p, e := range r.pendingMinEpochs {
+			if e > r.minEpochs[p] && !blocked[p] {
+				r.minEpochs[p] = e
 			}
 		}
 	}
@@ -400,8 +443,9 @@ func (r *Replica) scanSummaries() {
 }
 
 // scanFullSlot adopts one peer slot in the full-state layout, reporting
-// whether anything changed.
-func (r *Replica) scanFullSlot(g int, p spec.ProcID, slot *sumSlot, region []byte) bool {
+// whether anything changed and whether the slot was unreadable this pass
+// (torn frame — the source may still have undelivered state there).
+func (r *Replica) scanFullSlot(g int, p spec.ProcID, slot *sumSlot, region []byte) (bool, bool) {
 	off := r.slotOffset(g, p)
 	payload, ver, err := codec.DecodeSlot(region[off : off+r.opts.SumSlotSize])
 	if err != nil {
@@ -411,18 +455,19 @@ func (r *Replica) scanFullSlot(g int, p spec.ProcID, slot *sumSlot, region []byt
 			// the next periodic scan observe the healed slot.
 			r.statTorn++
 			r.mTorn.Inc()
+			return false, true
 		}
-		return false
+		return false, false
 	}
 	if ver <= slot.version {
-		return false
+		return false, false
 	}
-	counts, call, derr := decodeSumSlot(payload)
-	if derr != nil {
-		return false
+	counts, call, sepoch, derr := decodeSumSlot(payload)
+	if derr != nil || r.staleSlot(p, sepoch) {
+		return false, false
 	}
 	r.installScan(g, p, slot, ver, call, counts, "scan")
-	return true
+	return true, false
 }
 
 // installScan commits an adopted summary (version, call, counts) for peer
@@ -460,14 +505,15 @@ const tornParkScans = 3
 // into the summary via the group's Summarize, and a version jumping further
 // ahead is a gap — deltas were lost (partition, dropped write), so the
 // reader schedules a one-sided fetch of the writer's authoritative full
-// state instead of folding onto the wrong base.
-func (r *Replica) scanDeltaSlot(g int, p spec.ProcID, slot *sumSlot, region []byte) bool {
+// state instead of folding onto the wrong base. The second result reports
+// the slot unreadable this pass (torn frame or log record).
+func (r *Replica) scanDeltaSlot(g int, p spec.ProcID, slot *sumSlot, region []byte) (bool, bool) {
 	off := r.slotOffset(g, p)
 	changed := false
 	stuck := false
 	if payload, ver, err := codec.DecodeSlot(region[off : off+r.anchorCap()]); err == nil {
 		if ver > slot.version {
-			if counts, call, derr := decodeSumSlot(payload); derr == nil {
+			if counts, call, sepoch, derr := decodeSumSlot(payload); derr == nil && !r.staleSlot(p, sepoch) {
 				r.installScan(g, p, slot, ver, call, counts, "anchor")
 				changed = true
 			}
@@ -517,7 +563,7 @@ func (r *Replica) scanDeltaSlot(g int, p spec.ProcID, slot *sumSlot, region []by
 			r.fetchSlot(g, p, slot)
 		}
 	}
-	return changed
+	return changed, stuck
 }
 
 // fetchSlot recovers a delta slot that cannot make forward progress (a
@@ -1222,8 +1268,8 @@ func (r *Replica) adoptSlot(g int, p spec.ProcID, data []byte) bool {
 	if ver <= slot.version {
 		return false
 	}
-	counts, call, err := decodeSumSlot(payload)
-	if err != nil {
+	counts, call, sepoch, err := decodeSumSlot(payload)
+	if err != nil || r.staleSlot(p, sepoch) {
 		return false
 	}
 	// Install only the frame's used prefix: under DeltaSummaries the rest

@@ -133,6 +133,7 @@ type Detector struct {
 	advances  []int  // consecutive advancing checks while suspected
 	inflight  []bool // a check read is outstanding to this peer
 	suspected []bool
+	ignored   []bool // peers outside the membership: not checked, never suspected
 	ticker    *sim.Ticker
 
 	mSuspicions *metrics.Counter // peer transitions to suspected
@@ -158,6 +159,7 @@ func NewDetector(fab *rdma.Fabric, node *rdma.Node, cfg Config) *Detector {
 		advances:    make([]int, n),
 		inflight:    make([]bool, n),
 		suspected:   make([]bool, n),
+		ignored:     make([]bool, n),
 		mSuspicions: cfg.Metrics.Counter("heartbeat.suspicions"),
 		mRestores:   cfg.Metrics.Counter("heartbeat.restores"),
 	}
@@ -171,6 +173,33 @@ func (d *Detector) Stop() { d.ticker.Cancel() }
 // Suspected reports whether peer is currently suspected.
 func (d *Detector) Suspected(peer rdma.NodeID) bool { return d.suspected[peer] }
 
+// Forget drops all failure-detection state about peer and stops checking
+// it. A node that has cleanly left the configuration is not failed — it is
+// simply no longer a member — so any suspicion raised against it clears
+// immediately, without waiting for TrustThreshold advancing checks, and no
+// new suspicion can be raised until Watch re-admits the peer. Forget fires
+// no OnRestore: the peer is outside the membership, not recovered.
+func (d *Detector) Forget(peer rdma.NodeID) {
+	d.ignored[peer] = true
+	d.suspected[peer] = false
+	d.misses[peer] = 0
+	d.advances[peer] = 0
+	d.lastSeen[peer] = 0
+}
+
+// Watch re-admits a forgotten peer (a node joining the configuration):
+// checks resume from a clean slate on the next tick.
+func (d *Detector) Watch(peer rdma.NodeID) {
+	d.ignored[peer] = false
+	d.misses[peer] = 0
+	d.advances[peer] = 0
+	d.lastSeen[peer] = 0
+}
+
+// Ignored reports whether peer is currently outside the detector's
+// membership view.
+func (d *Detector) Ignored(peer rdma.NodeID) bool { return d.ignored[peer] }
+
 // check posts one heartbeat read per peer; results are handled
 // asynchronously as completions arrive. At most one read is outstanding per
 // peer: a read stalled on a slow or partitioned link suppresses further
@@ -182,7 +211,7 @@ func (d *Detector) check() {
 	}
 	for peer := 0; peer < d.fab.Size(); peer++ {
 		peer := rdma.NodeID(peer)
-		if peer == d.node.ID() || d.inflight[peer] {
+		if peer == d.node.ID() || d.inflight[peer] || d.ignored[peer] {
 			continue
 		}
 		d.inflight[peer] = true
@@ -208,7 +237,7 @@ func (d *Detector) check() {
 // advance records an advancing check and restores the peer once it has
 // passed TrustThreshold of them in a row.
 func (d *Detector) advance(peer rdma.NodeID) {
-	if !d.suspected[peer] {
+	if !d.suspected[peer] || d.ignored[peer] {
 		return
 	}
 	d.advances[peer]++
@@ -224,6 +253,11 @@ func (d *Detector) advance(peer rdma.NodeID) {
 }
 
 func (d *Detector) miss(peer rdma.NodeID) {
+	if d.ignored[peer] {
+		// A check read completing after Forget must not resurrect
+		// suspicion of a node that is no longer a member.
+		return
+	}
 	d.misses[peer]++
 	if d.misses[peer] >= d.cfg.Threshold && !d.suspected[peer] {
 		d.suspected[peer] = true

@@ -102,6 +102,68 @@ func TestCrashedNodeIsSuspected(t *testing.T) {
 	}
 }
 
+func TestForgetClearsSuspicionImmediately(t *testing.T) {
+	// A node that cleanly leaves the configuration while suspected must be
+	// cleared at once — no TrustThreshold advancing checks, which would
+	// never come anyway (its beater is gone with it) — and must not be
+	// re-suspected afterwards even though its counter stays frozen.
+	eng, fab := setup(3)
+	cfg := DefaultConfig()
+	cfg.TrustThreshold = 50 // a restore-by-advances would take ~1.25 ms
+	b0 := NewBeater(eng, fab.Node(0), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(1), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(2), cfg.BeatPeriod)
+	d1 := NewDetector(fab, fab.Node(1), cfg)
+	restores := 0
+	d1.OnRestore = func(rdma.NodeID) { restores++ }
+
+	eng.At(sim.Time(200*sim.Microsecond), func() { b0.Suspend() })
+	eng.RunUntil(sim.Time(600 * sim.Microsecond))
+	if !d1.Suspected(0) {
+		t.Fatal("node 0 not suspected before the clean leave")
+	}
+
+	d1.Forget(0)
+	if d1.Suspected(0) {
+		t.Fatal("Forget did not clear suspicion immediately")
+	}
+	if restores != 0 {
+		t.Fatal("Forget fired OnRestore; a departed node is not a recovery")
+	}
+
+	// The counter never advances again; a forgotten peer must stay clear.
+	eng.RunUntil(sim.Time(3 * sim.Millisecond))
+	if d1.Suspected(0) {
+		t.Fatal("forgotten node re-suspected")
+	}
+
+	// Watch re-admits it: with the beater still suspended, suspicion is
+	// raised again from a clean slate — membership is what changed.
+	d1.Watch(0)
+	eng.RunUntil(sim.Time(4 * sim.Millisecond))
+	if !d1.Suspected(0) {
+		t.Fatal("re-watched dead node never suspected")
+	}
+}
+
+func TestForgetWhileCheckInFlight(t *testing.T) {
+	// A check read completing after Forget must not resurrect suspicion.
+	eng, fab := setup(2)
+	cfg := DefaultConfig()
+	cfg.Threshold = 1 // a single missed check suffices to suspect
+	b0 := NewBeater(eng, fab.Node(0), cfg.BeatPeriod)
+	NewBeater(eng, fab.Node(1), cfg.BeatPeriod)
+	d1 := NewDetector(fab, fab.Node(1), cfg)
+	eng.At(sim.Time(100*sim.Microsecond), func() { b0.Suspend() })
+	// Forget between a check's post and its completion: the read is in
+	// flight (check period 25µs, read RTT ~2.5µs — land just after a tick).
+	eng.At(sim.Time(301*sim.Microsecond), func() { d1.Forget(0) })
+	eng.RunUntil(sim.Time(2 * sim.Millisecond))
+	if d1.Suspected(0) {
+		t.Fatal("in-flight check resurrected suspicion after Forget")
+	}
+}
+
 func TestNodeSuspendStopsBeating(t *testing.T) {
 	// Suspending the whole node (not just the beater) must also stop
 	// heartbeats: the beat callback checks the node state.

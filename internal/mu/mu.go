@@ -158,6 +158,12 @@ type Instance struct {
 	dedupLow       map[rdma.NodeID]uint64
 	dedupSet       map[rdma.NodeID]map[uint64]bool
 
+	// Membership view (dynamic reconfiguration). nil means the fixed
+	// full-fabric membership; otherwise members[p] reports whether node p
+	// is in the current configuration. Non-members count toward no
+	// majority and their votes and grants are ignored.
+	members []bool
+
 	// Submission state.
 	submitSeq uint64
 	pending   map[uint64][]byte // my submissions not yet delivered
@@ -293,7 +299,36 @@ func (in *Instance) newOut(peer rdma.NodeID, region string, capacity int) *outCh
 	}
 }
 
-func (in *Instance) majority() int { return in.n/2 + 1 }
+// SetMembers installs the configuration's membership view. Majorities are
+// computed over members only, and votes, grants and log acks from
+// non-members are discarded. A nil view restores the fixed full-fabric
+// membership. Fan-out is unchanged: departed nodes keep receiving the log
+// as observers, they just no longer count.
+func (in *Instance) SetMembers(members []bool) {
+	if members == nil {
+		in.members = nil
+		return
+	}
+	in.members = append([]bool(nil), members[:in.n]...)
+}
+
+// member reports whether node p is in the current configuration.
+func (in *Instance) member(p rdma.NodeID) bool {
+	return in.members == nil || in.members[p]
+}
+
+func (in *Instance) majority() int {
+	if in.members == nil {
+		return in.n/2 + 1
+	}
+	live := 0
+	for _, m := range in.members {
+		if m {
+			live++
+		}
+	}
+	return live/2 + 1
+}
 
 func (in *Instance) alive() bool { return !in.node.Suspended() && !in.node.Crashed() }
 
@@ -515,15 +550,18 @@ func (in *Instance) propose(origin rdma.NodeID, submitSeq uint64, payload []byte
 			continue
 		}
 		seq := seq
-		in.send(oc, entry, func(err error) { in.acked(seq, err) })
+		peer := rdma.NodeID(p)
+		in.send(oc, entry, func(err error) { in.acked(peer, seq, err) })
 	}
 }
 
-func (in *Instance) acked(seq uint64, err error) {
+func (in *Instance) acked(peer rdma.NodeID, seq uint64, err error) {
 	// Only successful writes count: a deposed leader's writes fail with
 	// permission errors at every voter, so it can never assemble a
-	// majority and never decides its zombie proposals.
-	if !in.isLeader || err != nil {
+	// majority and never decides its zombie proposals. Acks from nodes
+	// outside the current configuration are discarded the same way — an
+	// observer's copy must not help decide an entry.
+	if !in.isLeader || err != nil || !in.member(peer) {
 		return
 	}
 	in.acks[seq]++
@@ -799,6 +837,9 @@ func (in *Instance) pollVotes() {
 }
 
 func (in *Instance) handleVote(term uint64, cand rdma.NodeID) {
+	if !in.member(cand) {
+		return // a node outside the configuration cannot lead it
+	}
 	switch {
 	case term > in.term:
 		// Newer term: adopt it and grant.
@@ -905,6 +946,9 @@ func (in *Instance) pollGrants() {
 			lastDelivered := binary.LittleEndian.Uint64(msg[8:])
 			voter := rdma.NodeID(binary.LittleEndian.Uint16(msg[16:]))
 			if term != in.term || !in.electing {
+				continue
+			}
+			if !in.member(voter) {
 				continue
 			}
 			in.grants[voter] = lastDelivered
@@ -1115,7 +1159,8 @@ func (in *Instance) redisseminate(old []byte) {
 			continue
 		}
 		seq := seq
-		in.send(oc, entry, func(err error) { in.acked(seq, err) })
+		peer := rdma.NodeID(p)
+		in.send(oc, entry, func(err error) { in.acked(peer, seq, err) })
 	}
 }
 

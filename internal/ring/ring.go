@@ -150,6 +150,15 @@ type Reader struct {
 	tornStreak int    // consecutive polls rejecting the same offset
 	parked     error  // sticky quarantine diagnosis; nil while healthy
 	validate   bool   // CRC validation on (production); off = canary-only
+
+	// Epoch gating (dynamic membership). epochOf, when installed, extracts
+	// the configuration epoch a validated record was stamped with; records
+	// older than minEpoch are consumed (so the writer's flow control keeps
+	// working) but discarded and counted instead of returned. The zero
+	// state — no extractor — reproduces the ungated reader exactly.
+	epochOf  func(rec []byte) (epoch uint32, ok bool)
+	minEpoch uint32
+	stale    uint64 // records rejected by the epoch gate
 }
 
 // NewReader returns a reader over region, which must have been sized with
@@ -174,6 +183,28 @@ func (r *Reader) TornRejects() uint64 { return r.torn }
 // Poll exactly once; afterwards Poll reports an idle ring rather than the
 // same error forever.
 func (r *Reader) Parked() error { return r.parked }
+
+// SetEpochGate installs an epoch extractor: fn reports the configuration
+// epoch a complete, CRC-validated record carries (ok=false for records
+// without a stamp, which pass ungated). Records stamped with an epoch below
+// the gate's minimum — writes posted by a node that does not know it has
+// been removed from the configuration — are consumed and discarded rather
+// than delivered, and counted in StaleRejects.
+func (r *Reader) SetEpochGate(fn func(rec []byte) (epoch uint32, ok bool)) { r.epochOf = fn }
+
+// SetMinEpoch raises the gate's minimum epoch. Lower values are ignored:
+// configuration epochs only move forward.
+func (r *Reader) SetMinEpoch(e uint32) {
+	if e > r.minEpoch {
+		r.minEpoch = e
+	}
+}
+
+// MinEpoch returns the gate's current minimum epoch.
+func (r *Reader) MinEpoch() uint32 { return r.minEpoch }
+
+// StaleRejects returns how many records the epoch gate has discarded.
+func (r *Reader) StaleRejects() uint64 { return r.stale }
 
 // DisableChecksum reverts the reader to canary-only record validation —
 // the pre-CRC scheme, which false-accepts a record whose final byte lands
@@ -240,6 +271,17 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 				return nil, false, nil // torn landing: retry next poll
 			}
 			r.tornStreak = 0
+		}
+		if r.epochOf != nil {
+			if epoch, ok := r.epochOf(data[pos : pos+n]); ok && epoch < r.minEpoch {
+				// Stale-epoch write: the record is whole (it passed the CRC)
+				// but was stamped before the current configuration. Consume
+				// it — the head must advance for flow control — but discard
+				// instead of delivering, and count the rejection.
+				r.stale++
+				r.advance(pos, n)
+				continue
+			}
 		}
 		out := append([]byte(nil), data[pos:pos+n]...)
 		r.advance(pos, n)

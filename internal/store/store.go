@@ -186,6 +186,7 @@ func footprintDetail(an *spec.Analysis, nodes int, o core.Options) (total, large
 	if nslots := len(an.Class.SumGroups) * nodes; nslots > 0 {
 		add(nslots*o.SumSlotSize, 1)
 	}
+	add(8, 1) // configuration-epoch word (dynamic membership)
 	add(o.Broadcast.BackupSlots*o.Broadcast.BackupSlot, 1)
 	add(ring.RegionSize(o.Broadcast.RingCapacity), nodes-1)
 	for range an.SyncGroups {

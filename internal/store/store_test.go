@@ -394,4 +394,92 @@ func TestKeyedQueryPaths(t *testing.T) {
 	}
 }
 
+// TestReopenUnderEpochChangeKeepsFootprintExact pins the arena accounting
+// across a shard's whole membership lifecycle: a leave/join round-trip
+// allocates nothing outside the budgeted arena (the epoch word is part of
+// the footprint formula), Close after the round-trip returns every byte,
+// and a reopen lands on exactly the formula again at epoch zero.
+func TestReopenUnderEpochChangeKeepsFootprintExact(t *testing.T) {
+	opts := testOptions()
+	eng, s := newStore(t, 4, 9, opts)
+	an := spec.MustAnalyze(crdt.NewCounter())
+	fp := Footprint(an, 4, opts.Core)
+
+	assertUsed := func(stage string, want int) {
+		t.Helper()
+		for node := 0; node < 4; node++ {
+			if used, _ := s.Budget(node); used != want {
+				t.Fatalf("%s: node %d arena holds %d B, footprint formula says %d B", stage, node, used, want)
+			}
+		}
+	}
+
+	sh, err := s.Open("obj", an, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertUsed("after open", fp)
+
+	reconfig := func(stage string, join bool, node int) {
+		t.Helper()
+		done := false
+		var rerr error
+		cb := func(err error) { done, rerr = true, err }
+		if join {
+			sh.Cluster.Join(node, cb)
+		} else {
+			sh.Cluster.Leave(node, cb)
+		}
+		limit := eng.Now() + sim.Time(50*sim.Millisecond)
+		for !done && eng.Now() < limit {
+			eng.RunFor(100 * sim.Microsecond)
+		}
+		if !done {
+			t.Fatalf("%s: reconfiguration never completed", stage)
+		}
+		if rerr != nil {
+			t.Fatalf("%s: %v", stage, rerr)
+		}
+	}
+
+	// State on both sides of the epoch change, so the round-trip exercises
+	// real summary traffic, not an idle configuration.
+	want := map[string]int64{"obj": 0}
+	workload := func() {
+		for i := 0; i < 8; i++ {
+			s.Invoke("obj", spec.ProcID(i%4), crdt.CounterAdd, spec.ArgsI(1), nil)
+			want["obj"]++
+		}
+		drainCounters(t, eng, s, want, 50*sim.Millisecond)
+	}
+	workload()
+
+	reconfig("leave", false, 3)
+	assertUsed("after leave", fp)
+	reconfig("join", true, 3)
+	assertUsed("after join", fp)
+	if e := sh.Cluster.Epoch(); e != 2 {
+		t.Fatalf("epoch %d after leave/join round-trip, want 2", e)
+	}
+	workload()
+	assertUsed("after post-join workload", fp)
+
+	if err := s.Close("obj"); err != nil {
+		t.Fatal(err)
+	}
+	assertUsed("after close", 0)
+
+	sh2, err := s.Open("obj", an, ShardOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	assertUsed("after reopen", fp)
+	if sh2.Footprint() != fp {
+		t.Fatalf("reopened footprint %d, want %d", sh2.Footprint(), fp)
+	}
+	if e := sh2.Cluster.Epoch(); e != 0 {
+		t.Fatalf("reopened shard starts at epoch %d, want a fresh configuration", e)
+	}
+}
+
 var _ = core.Options{} // keep the import pinned for testOptions mutations

@@ -64,6 +64,16 @@ const (
 	Wire   Kind = "wire"   // labeled write landed in remote memory
 	CQE    Kind = "cqe"    // sender reaped the completion of a labeled verb
 	Commit Kind = "commit" // consensus entry replicated to a majority
+
+	// Session is recorded by session clients (package chaos): one event per
+	// session operation, carrying a SessionRecord the session-guarantee
+	// checker (package conform) replays. The state-machine conformance
+	// checker ignores them.
+	Session Kind = "session"
+
+	// Reconfig marks a membership change committing: the event's Node is the
+	// joining/leaving node and its Data an EpochRecord.
+	Reconfig Kind = "reconfig"
 )
 
 // CallRecord is the structured payload of Issue, FreeSend, Order and Apply
@@ -120,6 +130,28 @@ type QueryRecord struct {
 // response acknowledged the call (OK) or reported an error.
 type AckRecord struct {
 	OK bool
+}
+
+// SessionRecord is the structured payload of Session events: one operation
+// of one client session, with the evidence the session-guarantee checker
+// needs. View is an immutable snapshot of the serving replica's per-origin
+// applied-count vector at the moment the operation was served; for writes,
+// Watermark is the origin's own applied count when the write's ack
+// resolved (so "replica R has applied this write" is exactly
+// R.View[Node] >= Watermark, per-origin applies being prefix-monotone).
+type SessionRecord struct {
+	S         int      // session identity
+	Op        string   // "write", "read" or "switch"
+	Node      int      // serving replica (for switch: the new replica)
+	Epoch     uint32   // configuration epoch current when served
+	Watermark uint64   // write: origin applied count at ack time
+	View      []uint64 // read: per-origin applied counts at the serving replica
+}
+
+// EpochRecord is the structured payload of Reconfig events.
+type EpochRecord struct {
+	Epoch uint32 // the epoch that just committed
+	Join  bool   // true for a join, false for a leave
 }
 
 // Tracer is an append-only bounded event recorder. Not safe for concurrent
