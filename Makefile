@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 
-.PHONY: all build test vet staticcheck race check-race bench bench-snapshot bench-wire bench-shard bench-reconfig benchstat fuzz chaos conform conform-sessions store cover check
+.PHONY: all build test vet staticcheck race check-race bench bench-snapshot bench-wire bench-shard bench-reconfig benchstat fuzz chaos conform conform-sessions store health cover check
 
 all: check
 
@@ -65,6 +65,18 @@ conform-sessions:
 store:
 	$(GO) test -count=1 -v ./internal/store
 
+# health runs the introspection gate: the watchdog rule unit tests and the
+# zero-alloc snapshot guarantee (internal/health), the fault-plan
+# cross-check over the chaos corpus (every firing predicted by an injected
+# fault, fault-free runs silent, schedules unperturbed), the metrics-export
+# completeness pin, and the fixed-seed `-exp health` run itself (nonzero
+# exit on unexpected firings, an unobserved fault run, or a noisy control).
+health:
+	$(GO) test -count=1 -v ./internal/health
+	$(GO) test -run 'TestWatchdog|TestKindRules' -count=1 -v ./internal/chaos
+	$(GO) test -run 'TestMetricsExportCompleteness' -count=1 -v ./internal/bench
+	$(GO) run ./cmd/hambench -exp health -ops 600
+
 # cover prints per-package statement coverage so test gaps stay visible.
 cover:
 	$(GO) test -cover ./... | grep -v 'no test files'
@@ -72,7 +84,7 @@ cover:
 # check is the full pre-merge gate: tier-1 build + tests, static analysis,
 # the race detector, a short fuzz budget over the wire-format parsers, the
 # chaos plan corpus and the refinement conformance corpus.
-check: build vet staticcheck test race fuzz chaos conform conform-sessions store
+check: build vet staticcheck test race fuzz chaos conform conform-sessions store health
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/metrics ./internal/ring

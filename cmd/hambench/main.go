@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|latency|shard|reconfig|chaos|conform]
+//	hambench [-exp all|fig8|fig9|fig10|fig11|fig12|fig13|ablations|analysis|metrics|latency|shard|reconfig|chaos|conform|health|hamtop]
 //	         [-ops N] [-seed N] [-metrics-json FILE] [-chrome-trace FILE]
 //	         [-latency-json FILE] [-shards N] [-shard-json FILE]
 //	         [-plans N] [-plan-json FILE] [-chaos-dir DIR]
 //	         [-conform-seeds N] [-conform-dump DIR]
+//	         [-health-json FILE] [-frames N]
 //
 // The shard experiment drives a keyed counter workload against the sharded
 // multi-object store: object-count and Zipfian-skew sweeps with per-shard
@@ -33,6 +34,16 @@
 // exactly-once delivery and query explainability; non-conforming histories
 // are shrunk and dumped under -conform-dump. -plan-json replays a single
 // dumped plan through the checker instead.
+//
+// The health experiment runs one fixed-seed fault plan with the anomaly
+// watchdog attached: every firing is classified against the injected
+// faults (unexpected firings fail the run), a per-fault coverage table
+// shows each fault was observed, and a fault-free control run must stay
+// silent; -health-json writes the firing counts as a benchmark snapshot
+// that -exp benchstat can diff. The hamtop experiment renders -frames
+// top-style snapshots of a live sharded store — per-node progress and
+// suspicion sets, arena headroom, hottest shards, watchdog firings — all
+// in deterministic virtual time.
 //
 // The metrics experiment runs one fully instrumented workload and prints
 // the percentile report; -metrics-json additionally dumps the raw registry
@@ -67,7 +78,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, wire, shard, reconfig, snapshot, benchstat, chaos, conform")
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, fig10, fig11, fig12, fig13, ablations, doorbell, costs, trace, overview, analysis, metrics, latency, wire, shard, reconfig, snapshot, benchstat, chaos, conform, health, hamtop")
 	ops := flag.Int("ops", bench.DefaultOps, "operations per experiment point")
 	seed := flag.Int64("seed", 42, "deterministic random seed")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics experiment's registry snapshot as JSON to FILE")
@@ -85,6 +96,8 @@ func main() {
 	conformDump := flag.String("conform-dump", ".", "conform: directory for shrunk counterexample dumps")
 	shards := flag.Int("shards", 16, "shard: objects hosted by the sharded store at the largest sweep point")
 	shardJSON := flag.String("shard-json", "", "shard: write every measured point as JSON to FILE")
+	healthJSON := flag.String("health-json", "", "health: write the watchdog firing counts as JSON to FILE (compare with -exp benchstat)")
+	topFrames := flag.Int("frames", 6, "hamtop: snapshot frames to render")
 	flag.Parse()
 
 	cfg := bench.Config{Ops: *ops, Seed: *seed, Out: os.Stdout}
@@ -128,6 +141,12 @@ func main() {
 		cfg.Shard(*shards, *shardJSON)
 	case "reconfig":
 		cfg.Reconfig()
+	case "health":
+		if cfg.Health(fileWriter(*healthJSON)) > 0 {
+			os.Exit(1)
+		}
+	case "hamtop":
+		runHamtop(cfg, *topFrames)
 	case "analysis":
 		printAnalyses()
 	case "chaos":

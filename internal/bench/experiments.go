@@ -503,7 +503,7 @@ func (cfg Config) Metrics(jsonOut, chromeOut io.Writer) {
 	cfg.printf("Metrics report — %s\n\n", res)
 	res.WriteMetricsReport(cfg.Out)
 	if jsonOut != nil {
-		if err := reg.WriteJSON(jsonOut); err != nil {
+		if err := cfg.writeMergedMetrics(jsonOut, reg); err != nil {
 			cfg.printf("metrics: JSON export failed: %v\n", err)
 		}
 	}

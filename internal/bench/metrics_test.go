@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hamband/internal/metrics"
+)
+
+var counterLit = regexp.MustCompile(`\.Counter\("([a-z0-9_.]+)"\)`)
+
+// scanCounterNames collects every literal counter name registered by
+// non-test source under internal/. Dynamically-formatted names (the
+// per-QP rdma.qp.<i>-<j>.* family) are intentionally out of scope: the
+// scan pins the fixed registry vocabulary.
+func scanCounterNames(t *testing.T, root string) map[string]string {
+	t.Helper()
+	names := map[string]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range counterLit.FindAllSubmatch(src, -1) {
+			names[string(m[1])] = path
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	if len(names) < 10 {
+		t.Fatalf("scan found only %d counter names under %s — wrong root?", len(names), root)
+	}
+	return names
+}
+
+// TestMetricsExportCompleteness pins the observability contract: every
+// counter registered anywhere under internal/ appears in the `-exp
+// metrics` JSON export. A counter that exists in code but not in the
+// export is invisible to every dashboard built on the export — this test
+// makes adding one without wiring it a build failure.
+func TestMetricsExportCompleteness(t *testing.T) {
+	names := scanCounterNames(t, "..") // internal/
+
+	var buf bytes.Buffer
+	cfg := Config{Ops: 500, Seed: 7, Out: io.Discard}
+	cfg.Metrics(&buf, nil)
+
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("decoding -exp metrics JSON export: %v", err)
+	}
+	for name, where := range names {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q (registered in %s) missing from the -exp metrics JSON export", name, where)
+		}
+	}
+	t.Logf("export covers all %d registered counter names (%d total exported)", len(names), len(snap.Counters))
+}

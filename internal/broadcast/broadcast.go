@@ -497,7 +497,13 @@ func (r *Receiver) poll() {
 			for {
 				rec, ok, err := rd.Poll()
 				if err != nil || !ok {
-					drained = err == nil && !ok
+					// An idle poll alone is not a drain proof: the reader
+					// must also be quiescent — a wrap marker consumed with
+					// its record still landing, or a torn record mid-heal,
+					// both return idle while bytes are pending. Promoting a
+					// parked floor then would stale-reject a record the
+					// departed source legitimately posted before revocation.
+					drained = err == nil && !ok && rd.Quiescent()
 					break
 				}
 				validated += len(rec)

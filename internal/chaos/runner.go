@@ -8,6 +8,7 @@ import (
 
 	"hamband/internal/core"
 	"hamband/internal/crdt"
+	"hamband/internal/health"
 	"hamband/internal/heartbeat"
 	"hamband/internal/metrics"
 	"hamband/internal/rdma"
@@ -109,6 +110,19 @@ type Verdict struct {
 	// ShardAcked is the per-shard acked-update count on ShardMix runs
 	// (nil otherwise). A healthy sharded run acks on every shard.
 	ShardAcked []int
+
+	// Anomalies holds every watchdog firing in detection order; Unexpected
+	// the subset whose rule no injected fault predicts. Each unexpected
+	// firing is also a "watchdog" violation, so a miscalibrated rule (or a
+	// cluster misbehaving without a nemesis cause) fails the run.
+	Anomalies  []health.Firing `json:"anomalies,omitempty"`
+	Unexpected []health.Firing `json:"unexpected,omitempty"`
+
+	// FlightDump is the flight recorder's window captured at the first
+	// watchdog firing (nil without FlightWindow or without firings): the
+	// moments leading up to the anomaly, frozen before further traffic
+	// rotates them out of the ring.
+	FlightDump []trace.Event `json:"-"`
 }
 
 // Summary renders a one-line verdict for exploration logs.
@@ -143,6 +157,7 @@ type runner struct {
 	pending []int      // in-flight calls by origin
 	batches int        // issue ticks seen (drives the query mix)
 	v       *Verdict
+	wd      *health.Watchdog
 
 	cEvents, cCalls, cViolations *metrics.Counter
 }
@@ -216,6 +231,19 @@ func Run(p Plan, opts Options) (*Verdict, error) {
 		r.v.Trace = tr
 	}
 	r.cluster = core.NewCluster(fab, an, copts)
+	// The watchdog observes health snapshots on the probe cadence. Both
+	// collection and evaluation are read-only and cost no virtual time, so
+	// trace hashes are identical with and without it; its firings are
+	// cross-checked against the fault plan at the end of the run.
+	r.wd = health.NewWatchdog(health.Config{
+		Metrics: copts.Metrics,
+		Tracer:  copts.Tracer,
+		OnFirstFiring: func(health.Firing) {
+			if r.v.Trace != nil {
+				r.v.FlightDump = r.v.Trace.Events()
+			}
+		},
+	})
 	for i := 0; i < p.Nodes; i++ {
 		r.acked = append(r.acked, make([]uint32, len(cls.Methods)))
 	}
@@ -241,8 +269,12 @@ func (r *runner) run() {
 	}
 
 	// Integrity probe: the invariant must hold at every queried point on
-	// every live replica.
-	probeTick := r.eng.NewTicker(r.opts.ProbePeriod, func() { r.probeIntegrity(false) })
+	// every live replica. The watchdog rides the same cadence — its
+	// consecutive-observation thresholds are denominated in probe periods.
+	probeTick := r.eng.NewTicker(r.opts.ProbePeriod, func() {
+		r.probeIntegrity(false)
+		r.wd.Observe(health.Collect(r.eng.Now(), r.cluster))
+	})
 
 	// Run the schedule out: workload end or last event, whichever is later.
 	horizon := sim.Time(sim.Duration(r.plan.Ops/r.opts.BatchSize+2) * r.opts.IssuePeriod)
@@ -273,6 +305,7 @@ func (r *runner) run() {
 		r.probeExactlyOnce()
 	}
 	r.probeIntegrity(true)
+	classifyFirings(r.v, r.wd, r.violate)
 
 	r.v.Makespan = sim.Duration(r.eng.Now())
 	r.v.FinalEpoch = uint32(r.cluster.Epoch())

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"hamband/internal/core"
+	"hamband/internal/health"
 	"hamband/internal/heartbeat"
 	"hamband/internal/metrics"
 	"hamband/internal/rdma"
@@ -40,6 +41,7 @@ type shardRunner struct {
 	pending [][]int      // pending[shard][origin]
 	batches int
 	v       *Verdict
+	wd      *health.Watchdog
 
 	cEvents, cCalls, cViolations *metrics.Counter
 }
@@ -102,6 +104,19 @@ func runSharded(p Plan, opts Options) (*Verdict, error) {
 	}
 
 	r.st = store.New(fab, sopts)
+	// Same watchdog wiring as the single-object runner: read-only snapshot
+	// collection on the probe cadence, firings cross-checked against the
+	// fault plan at the end of the run. Sharded snapshots additionally feed
+	// the hot-shard and budget-low rules.
+	r.wd = health.NewWatchdog(health.Config{
+		Metrics: sopts.Core.Metrics,
+		Tracer:  sopts.Tracer,
+		OnFirstFiring: func(health.Firing) {
+			if r.v.Trace != nil {
+				r.v.FlightDump = r.v.Trace.Events()
+			}
+		},
+	})
 	for i := 0; i < p.ShardMix; i++ {
 		key := fmt.Sprintf("s%02d", i)
 		if _, err := r.st.Open(key, an, store.ShardOptions{}); err != nil {
@@ -129,7 +144,10 @@ func (r *shardRunner) run() {
 		r.eng.At(e.At, func() { r.apply(e) })
 	}
 	issueTick := r.eng.NewTicker(r.opts.IssuePeriod, r.issueBatch)
-	probeTick := r.eng.NewTicker(r.opts.ProbePeriod, func() { r.probeIntegrity(false) })
+	probeTick := r.eng.NewTicker(r.opts.ProbePeriod, func() {
+		r.probeIntegrity(false)
+		r.wd.Observe(health.CollectStore(r.eng.Now(), r.st))
+	})
 
 	horizon := sim.Time(sim.Duration(r.plan.Ops/r.opts.BatchSize+2) * r.opts.IssuePeriod)
 	for _, e := range r.plan.Events {
@@ -161,6 +179,7 @@ func (r *shardRunner) run() {
 		}
 	}
 	r.probeIntegrity(true)
+	classifyFirings(r.v, r.wd, r.violate)
 
 	r.v.Makespan = sim.Duration(r.eng.Now())
 	r.v.Passed = len(r.v.Violations) == 0

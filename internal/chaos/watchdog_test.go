@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"hamband/internal/health"
+	"hamband/internal/sim"
+)
+
+// A fault-free plan must produce zero watchdog firings: the rules are
+// calibrated so a healthy cluster under full workload never looks sick.
+func TestWatchdogNoFaultClean(t *testing.T) {
+	for _, class := range []string{"bankmap", "orset"} {
+		v := mustRun(t, Plan{Class: class, Nodes: 4, Ops: 200, Seed: 11}, Options{})
+		assertPassed(t, v)
+		if len(v.Anomalies) != 0 {
+			t.Fatalf("%s: fault-free run produced %d watchdog firings, first: %+v",
+				class, len(v.Anomalies), v.Anomalies[0])
+		}
+	}
+}
+
+// A sharded fault-free plan must also stay clean — in particular the
+// budget-low rule must treat the store's exact-admission arenas (0%
+// headroom from the first snapshot) as steady state, and a balanced
+// workload must not trip hot-shard.
+func TestWatchdogNoFaultCleanSharded(t *testing.T) {
+	v := mustRun(t, Plan{Class: "bankmap", Nodes: 4, Ops: 240, Seed: 13, ShardMix: 3}, Options{})
+	assertPassed(t, v)
+	if len(v.Anomalies) != 0 {
+		t.Fatalf("fault-free sharded run produced %d watchdog firings, first: %+v",
+			len(v.Anomalies), v.Anomalies[0])
+	}
+}
+
+// suspendPlan knocks node 3 out for most of the run: long enough for the
+// failure detector to suspect it and for its applied watermark to fall
+// behind by well over the lag floor.
+func suspendPlan() Plan {
+	return Plan{
+		Class: "bankmap", Nodes: 4, Ops: 400, Seed: 5,
+		Events: []Event{
+			{At: sim.Time(300 * sim.Microsecond), Kind: KindSuspend, Node: 3},
+			{At: sim.Time(4500 * sim.Microsecond), Kind: KindResume, Node: 3},
+		},
+	}
+}
+
+// An injected suspension must be observed: the watchdog fires at least one
+// rule the fault predicts, every firing is classified expected (the run
+// passes), and the coverage table marks the fault covered.
+func TestWatchdogExpectedFiring(t *testing.T) {
+	v := mustRun(t, suspendPlan(), Options{})
+	assertPassed(t, v)
+	if len(v.Anomalies) == 0 {
+		t.Fatal("suspension ran unobserved: no watchdog firings")
+	}
+	if len(v.Unexpected) != 0 {
+		t.Fatalf("expected-only firings wanted, got unexpected: %+v", v.Unexpected)
+	}
+	exp := expectedRules(v.Plan)
+	for _, f := range v.Anomalies {
+		if !exp[f.Rule] {
+			t.Fatalf("firing %+v not in the plan's expected set %v", f, exp)
+		}
+	}
+
+	cov := CoverFaults(v)
+	if len(cov) != 1 { // resume is a healing event: no coverage row
+		t.Fatalf("want 1 coverage row (suspend only), got %d: %+v", len(cov), cov)
+	}
+	if !cov[0].Covered || cov[0].Firing == nil {
+		t.Fatalf("suspend fault not covered: %+v", cov[0])
+	}
+	if cov[0].Firing.At < cov[0].Event.At {
+		t.Fatalf("covering firing at %v predates the fault at %v", cov[0].Firing.At, cov[0].Event.At)
+	}
+}
+
+// Watchdog output is part of the deterministic verdict: equal plans give
+// equal firing lists, and the trace hash is unchanged by metrics/tracing
+// (which route the firings into counters and trace events).
+func TestWatchdogDeterministic(t *testing.T) {
+	a := mustRun(t, suspendPlan(), Options{})
+	b := mustRun(t, suspendPlan(), Options{EnableMetrics: true, FlightWindow: 256})
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("watchdog observation perturbed the schedule: %016x vs %016x", a.TraceHash, b.TraceHash)
+	}
+	if !reflect.DeepEqual(a.Anomalies, b.Anomalies) {
+		t.Fatalf("firings differ across identical runs:\n%+v\n%+v", a.Anomalies, b.Anomalies)
+	}
+	if b.Metrics.Counter("health.firings").Value() != uint64(len(b.Anomalies)) {
+		t.Fatalf("health.firings counter %d != %d firings",
+			b.Metrics.Counter("health.firings").Value(), len(b.Anomalies))
+	}
+	if len(b.Anomalies) > 0 && len(b.FlightDump) == 0 {
+		t.Fatal("first firing did not capture a flight-recorder dump")
+	}
+}
+
+// The full generated corpus must be watchdog-clean: every firing across
+// 20 random fault plans per class is predicted by an injected fault.
+func TestWatchdogCorpusClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep")
+	}
+	for _, class := range []string{"bankmap", "orset"} {
+		for seed := int64(0); seed < 20; seed++ {
+			v := mustRun(t, Generate(class, 4, 120, seed), Options{})
+			if len(v.Unexpected) != 0 {
+				t.Errorf("class=%s seed=%d: %d unexpected firings, first: %+v",
+					class, seed, len(v.Unexpected), v.Unexpected[0])
+			}
+		}
+	}
+}
+
+// kindRules must cover every fault kind; a new nemesis event without a
+// watchdog mapping would silently classify all its symptoms as unexpected.
+func TestKindRulesCoverage(t *testing.T) {
+	faults := []Kind{KindSuspend, KindCrash, KindPartition, KindDelay, KindTorn, KindLeaderKill, KindLeave, KindJoin}
+	for _, k := range faults {
+		if len(kindRules(k)) == 0 {
+			t.Errorf("fault kind %q predicts no watchdog rules", k)
+		}
+	}
+	heals := []Kind{KindResume, KindHeal, KindTornHeal}
+	for _, k := range heals {
+		if len(kindRules(k)) != 0 {
+			t.Errorf("healing kind %q should predict nothing, got %v", k, kindRules(k))
+		}
+	}
+	// Budget-low must never be expected: no chaos fault exhausts an arena.
+	for _, k := range faults {
+		for _, r := range kindRules(k) {
+			if r == health.RuleBudgetLow {
+				t.Errorf("fault kind %q expects budget-low", k)
+			}
+		}
+	}
+}

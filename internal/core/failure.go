@@ -65,6 +65,10 @@ func (fd *FailureDomain) Suspected(node int, peer rdma.NodeID) bool {
 	return fd.detectors[node].Suspected(peer)
 }
 
+// Detector returns the node's shared failure detector — the health layer
+// reads its suspicion set; mutation stays with the domain.
+func (fd *FailureDomain) Detector(node int) *heartbeat.Detector { return fd.detectors[node] }
+
 // Forget drops peer from every node's failure-detection view: a node that
 // cleanly left the configuration is not failed, so suspicion of it clears
 // immediately and no new suspicion is raised until Watch re-admits it.

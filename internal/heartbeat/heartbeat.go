@@ -173,6 +173,19 @@ func (d *Detector) Stop() { d.ticker.Cancel() }
 // Suspected reports whether peer is currently suspected.
 func (d *Detector) Suspected(peer rdma.NodeID) bool { return d.suspected[peer] }
 
+// Suspects returns the currently suspected peers, ascending. Read-only and
+// allocation-free when the suspicion set is empty — the health layer polls
+// it every probe period.
+func (d *Detector) Suspects() []rdma.NodeID {
+	var out []rdma.NodeID
+	for p, s := range d.suspected {
+		if s {
+			out = append(out, rdma.NodeID(p))
+		}
+	}
+	return out
+}
+
 // Forget drops all failure-detection state about peer and stops checking
 // it. A node that has cleanly left the configuration is not failed — it is
 // simply no longer a member — so any suspicion raised against it clears

@@ -151,6 +151,14 @@ type Reader struct {
 	parked     error  // sticky quarantine diagnosis; nil while healthy
 	validate   bool   // CRC validation on (production); off = canary-only
 
+	// Drain proof (FloorAfterDrain). wrapPending is set when an explicit
+	// skip marker is consumed: the writer only places one immediately before
+	// a record at offset zero, so a zero length word there means that record
+	// is still landing, not that the ring is empty. quiet records whether
+	// the most recent Poll proved the ring genuinely idle.
+	wrapPending bool
+	quiet       bool
+
 	// Epoch gating (dynamic membership). epochOf, when installed, extracts
 	// the configuration epoch a validated record was stamped with; records
 	// older than minEpoch are consumed (so the writer's flow control keeps
@@ -183,6 +191,20 @@ func (r *Reader) TornRejects() uint64 { return r.torn }
 // Poll exactly once; afterwards Poll reports an idle ring rather than the
 // same error forever.
 func (r *Reader) Parked() error { return r.parked }
+
+// TornStreak returns how many consecutive polls have rejected the record at
+// the current head — the progress of the one-shot parking diagnosis. It
+// resets to zero the moment a poll validates, so a healed tear leaves no
+// residue: a later tear must again fail the full retry window to park.
+func (r *Reader) TornStreak() int { return r.tornStreak }
+
+// Quiescent reports whether the most recent Poll proved the ring genuinely
+// empty: no partially landed record visible at the head, no consumed wrap
+// marker still waiting for its record at offset zero, and the reader not
+// parked. Drain-driven decisions (broadcast.Receiver.FloorAfterDrain) must
+// require this in addition to an idle Poll — an idle return alone also
+// covers a record whose write is mid-flight.
+func (r *Reader) Quiescent() bool { return r.quiet }
 
 // SetEpochGate installs an epoch extractor: fn reports the configuration
 // epoch a complete, CRC-validated record carries (ok=false for records
@@ -224,6 +246,7 @@ func (r *Reader) DisableChecksum() { r.validate = false }
 // the head counter in the region header is advanced for the remote
 // writer's flow control.
 func (r *Reader) Poll() ([]byte, bool, error) {
+	r.quiet = false
 	if r.parked != nil {
 		return nil, false, nil
 	}
@@ -239,8 +262,12 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 		lenWord := binary.LittleEndian.Uint32(data[pos:])
 		switch {
 		case lenWord == 0:
-			return nil, false, nil // empty (or record header in flight)
+			// Empty — unless a consumed wrap marker promised a record here
+			// whose write has not landed yet.
+			r.quiet = !r.wrapPending
+			return nil, false, nil
 		case lenWord == skipMarker:
+			r.wrapPending = true
 			r.advance(pos, boundary)
 			continue
 		}
@@ -272,6 +299,7 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 			}
 			r.tornStreak = 0
 		}
+		r.wrapPending = false // the promised post-wrap record has landed
 		if r.epochOf != nil {
 			if epoch, ok := r.epochOf(data[pos : pos+n]); ok && epoch < r.minEpoch {
 				// Stale-epoch write: the record is whole (it passed the CRC)

@@ -150,6 +150,65 @@ func TestPersistentTornRecordParks(t *testing.T) {
 	}
 }
 
+// TestTornStreakResetsAfterHeal pins the one-shot diagnosis counter the
+// health layer exposes: TornStreak climbs one per rejecting poll while a
+// tear persists, drops to zero the moment the record validates, and a later
+// tear starts its park countdown from scratch — a healed episode leaves no
+// residue toward the tornRetryLimit quarantine.
+func TestTornStreakResetsAfterHeal(t *testing.T) {
+	region := make([]byte, RegionSize(256))
+	w := NewWriter(256)
+	r := NewReader(region)
+
+	tearAndPoll := func(payload []byte, polls int) []Write {
+		rec, err := codec.EncodeRaw(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes, ok := w.Append(rec)
+		if !ok {
+			w.NoteHead(DecodeHead(region))
+			if writes, ok = w.Append(rec); !ok {
+				t.Fatal("ring full")
+			}
+		}
+		landBoundary(region, writes[len(writes)-1])
+		for p := 0; p < polls; p++ {
+			if _, ok, perr := r.Poll(); ok || perr != nil {
+				t.Fatalf("torn poll %d = (%v, %v)", p, ok, perr)
+			}
+			if got := r.TornStreak(); got != p+1 {
+				t.Fatalf("TornStreak after %d rejects = %d", p+1, got)
+			}
+		}
+		return writes
+	}
+
+	// First tear: one poll short of the park limit, then the interior lands.
+	writes := tearAndPoll(bytes.Repeat([]byte{0xAA}, 24), tornRetryLimit-1)
+	apply(region, writes)
+	if _, ok, perr := r.Poll(); !ok || perr != nil {
+		t.Fatalf("healed poll = (%v, %v)", ok, perr)
+	}
+	if got := r.TornStreak(); got != 0 {
+		t.Fatalf("TornStreak after heal = %d, want 0", got)
+	}
+
+	// Second tear: the countdown must restart — tornRetryLimit-1 more
+	// rejects still do not park, despite the earlier episode.
+	writes = tearAndPoll(bytes.Repeat([]byte{0xBB}, 24), tornRetryLimit-1)
+	if r.Parked() != nil {
+		t.Fatalf("parked with a reset streak: %v", r.Parked())
+	}
+	apply(region, writes)
+	if _, ok, perr := r.Poll(); !ok || perr != nil {
+		t.Fatalf("second healed poll = (%v, %v)", ok, perr)
+	}
+	if got := r.TornStreak(); got != 0 {
+		t.Fatalf("TornStreak after second heal = %d, want 0", got)
+	}
+}
+
 // TestTornStreakResetsAcrossRecords pins that the consecutive-failure
 // counter is per-stuck-record, not cumulative: torn landings that heal
 // within a few polls never add up to a park, even across many records.

@@ -235,3 +235,64 @@ func TestWrapBoundarySweep(t *testing.T) {
 		}
 	}
 }
+
+// TestQuiescentDistinguishesWrapInFlight pins the drain proof the
+// FloorAfterDrain promotion relies on: an idle poll after consuming an
+// explicit wrap skip marker is NOT quiescent — the marker promises a record
+// at offset zero whose write is still landing, and a zero length word there
+// is indistinguishable from an empty ring without that memory. Quiescent
+// turns true again only once the promised record has been consumed.
+func TestQuiescentDistinguishesWrapInFlight(t *testing.T) {
+	const capacity = 128
+	region := make([]byte, RegionSize(capacity))
+	w := NewWriter(capacity)
+	r := NewReader(region)
+
+	if _, ok, _ := r.Poll(); ok {
+		t.Fatal("record on an empty ring")
+	}
+	if !r.Quiescent() {
+		t.Fatal("empty ring not quiescent")
+	}
+
+	// Two 49-byte records fill the lap to offset 98 (remainder 30 >= 4, so
+	// the next append leaves an explicit skip marker).
+	for _, tag := range []byte{0xA1, 0xA2} {
+		writes, ok := w.Append(rec(t, 49, tag))
+		if !ok {
+			t.Fatal("append refused with an empty ring")
+		}
+		land(region, writes)
+	}
+	if got := drain(t, r); len(got) != 2 {
+		t.Fatalf("drained %d records, want 2", len(got))
+	}
+	if !r.Quiescent() {
+		t.Fatal("drained ring not quiescent")
+	}
+
+	// The wrapping record: a skip marker at offset 98 plus the record at
+	// offset 0, two separate writes landing in order. Land only the marker —
+	// the instant a poll can fall into.
+	w.NoteHead(r.Head())
+	writes, ok := w.Append(rec(t, 49, 0xA3))
+	if !ok || len(writes) != 2 {
+		t.Fatalf("wrap append = (%d writes, %v), want marker + record", len(writes), ok)
+	}
+	land(region, writes[:1])
+	if _, ok, err := r.Poll(); ok || err != nil {
+		t.Fatalf("poll between marker and record = (%v, %v)", ok, err)
+	}
+	if r.Quiescent() {
+		t.Fatal("quiescent with the wrapped record still in flight")
+	}
+
+	// The record lands: delivered, and idleness is provable again.
+	land(region, writes[1:])
+	if got := drain(t, r); len(got) != 1 || got[0][4] != 0xA3 {
+		t.Fatalf("wrapped record not delivered: %d records", len(got))
+	}
+	if !r.Quiescent() {
+		t.Fatal("ring not quiescent after the wrapped record delivered")
+	}
+}

@@ -367,6 +367,14 @@ func (s *Store) Budget(node int) (used, total int) {
 	return a.Used(), a.Size()
 }
 
+// Headroom reports one node's arena free space: total available bytes and
+// the largest single free extent — the number that decides whether another
+// shard of a given footprint can still be admitted.
+func (s *Store) Headroom(node int) (available, largest int) {
+	a := s.arenas[node]
+	return a.Available(), a.Largest()
+}
+
 // Coalescer returns the node's shared write coalescer (its stats expose
 // the cross-shard chains); nil stats-wise only under PrivateCoalescers.
 func (s *Store) Coalescer(node int) *rdma.Coalescer { return s.coals[node] }

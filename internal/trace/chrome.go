@@ -53,8 +53,8 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 					Ts:   ts,
 					Pid:  e.Node,
 					Tid:  e.Node,
-					Cat:  "lifecycle",
-					Args: map[string]any{"note": e.Note},
+					Cat:  instantCat(e),
+					Args: instantArgs(e),
 				})
 				return
 			}
@@ -124,4 +124,46 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// instantCat buckets node-level instants into Chrome categories so the
+// membership, session and health timelines are filterable separately from
+// ordinary lifecycle instants.
+func instantCat(e Event) string {
+	switch e.Kind {
+	case Reconfig:
+		return "membership"
+	case Session:
+		return "session"
+	case Health:
+		return "health"
+	}
+	return "lifecycle"
+}
+
+// instantArgs builds the args of a node-level instant. Structured payloads
+// surface their machine-readable fields — an EpochRecord its epoch and
+// direction, a SessionRecord its session/op/epoch/watermark, a HealthEvent
+// its rule and value-vs-threshold — so the exported trace carries the same
+// evidence the checkers consume, not just the human note.
+func instantArgs(e Event) map[string]any {
+	args := map[string]any{"note": e.Note}
+	switch d := e.Data.(type) {
+	case EpochRecord:
+		args["epoch"] = d.Epoch
+		args["join"] = d.Join
+	case SessionRecord:
+		args["session"] = d.S
+		args["op"] = d.Op
+		args["epoch"] = d.Epoch
+		args["watermark"] = d.Watermark
+	case HealthEvent:
+		args["rule"] = d.Rule
+		args["value"] = d.Value
+		args["threshold"] = d.Threshold
+		if d.Shard != "" {
+			args["shard"] = d.Shard
+		}
+	}
+	return args
 }

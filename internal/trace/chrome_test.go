@@ -14,12 +14,13 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestChromeTraceGolden pins the nested-span Chrome export byte-for-byte:
 // a small fixed trace with a full call lifecycle (including transport
-// stage-boundary events), a node-level instant, and a dropped event, so
-// the dropped-events annotation is part of the golden output.
+// stage-boundary events), node-level instants with structured payloads
+// (reconfiguration, session operation, watchdog firing), and a dropped
+// event, so the dropped-events annotation is part of the golden output.
 // Regenerate with: go test ./internal/trace -run Golden -update
 func TestChromeTraceGolden(t *testing.T) {
 	eng := sim.NewEngine(1)
-	tr := New(eng, 6) // one event beyond the limit drops → annotation
+	tr := New(eng, 9) // one event beyond the limit drops → annotation
 	eng.At(1000, func() { tr.Record(0, Issue, "p0#1", "add (irreducible conflict-free)") })
 	eng.At(1200, func() { tr.Record(0, FreeSend, "p0#1", "applied locally, broadcast to F buffers") })
 	eng.At(1400, func() {
@@ -30,6 +31,15 @@ func TestChromeTraceGolden(t *testing.T) {
 	})
 	eng.At(2900, func() { tr.Record(1, Apply, "p0#1", "free-app") })
 	eng.At(3100, func() { tr.Record(2, Suspect, "", "suspects p0") })
+	eng.At(3150, func() {
+		tr.RecordData(2, Reconfig, "", "node 2 leave: epoch 2 committed", EpochRecord{Epoch: 2, Join: false})
+	})
+	eng.At(3200, func() {
+		tr.RecordData(1, Session, "", "s3 write served at n1", SessionRecord{S: 3, Op: "write", Node: 1, Epoch: 2, Watermark: 17})
+	})
+	eng.At(3250, func() {
+		tr.RecordData(1, Health, "", "replication watermark lag growing", HealthEvent{Rule: "watermark-lag", Node: 1, Value: 96, Threshold: 64})
+	})
 	eng.At(3300, func() { tr.Record(0, Complete, "p0#1", "response resolved") }) // dropped
 	eng.Run()
 

@@ -74,6 +74,10 @@ const (
 	// Reconfig marks a membership change committing: the event's Node is the
 	// joining/leaving node and its Data an EpochRecord.
 	Reconfig Kind = "reconfig"
+
+	// Health marks a watchdog anomaly rule firing (package health): the
+	// event's Node is the affected node and its Data a HealthEvent.
+	Health Kind = "health"
 )
 
 // CallRecord is the structured payload of Issue, FreeSend, Order and Apply
@@ -152,6 +156,18 @@ type SessionRecord struct {
 type EpochRecord struct {
 	Epoch uint32 // the epoch that just committed
 	Join  bool   // true for a join, false for a leave
+}
+
+// HealthEvent is the structured payload of Health events: which watchdog
+// rule fired, against which node/shard, and the observed value versus the
+// rule's threshold (units are rule-specific: polls, check periods, percent,
+// applied-call lag).
+type HealthEvent struct {
+	Rule      string
+	Node      int
+	Shard     string // empty outside the sharded store
+	Value     int64
+	Threshold int64
 }
 
 // Tracer is an append-only bounded event recorder. Not safe for concurrent
